@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension bench: interconnect saturation under uniform-random
+ * synthetic traffic (Garnet-style), on the Figure 5a cluster and on a
+ * two-cabinet system. Sweeps offered load per node and reports
+ * delivered throughput and end-to-end latency — the load/latency curve
+ * the paper's blocking-behaviour citations ([5], [6]) reason about.
+ *
+ * Injectors drive the link interfaces directly (no PIO driver), so
+ * this isolates the fabric: links, crossbar arbitration, transceivers.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "net/injector.hh"
+#include "net/topology.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::net;
+
+void
+sweep(unsigned clusters, unsigned nodesPerCluster)
+{
+    std::printf("\n-- %u cabinet%s, %u nodes, uniform random, 64 B "
+                "payloads --\n",
+                clusters, clusters > 1 ? "s" : "",
+                clusters * nodesPerCluster);
+    std::printf("%16s %18s %14s %14s %12s\n", "offered/node",
+                "delivered total", "mean lat", "max lat", "throttled");
+
+    for (double offered : {5.0, 15.0, 30.0, 45.0, 55.0}) {
+        sim::EventQueue queue;
+        FabricParams fp;
+        fp.clusters = clusters;
+        fp.nodesPerCluster = nodesPerCluster;
+        fp.uplinksPerCluster = clusters > 1 ? 8 : 0;
+        fp.networks = 1;
+        Fabric fabric(fp, queue);
+        Drain drain(fabric, queue);
+
+        std::vector<std::unique_ptr<Injector>> injectors;
+        InjectorParams ip;
+        ip.offeredMBps = offered;
+        ip.payloadWords = 8; // 64 B messages
+        constexpr Tick kRun = 3 * kTicksPerMs;
+        for (unsigned n = 0; n < fabric.numNodes(); ++n) {
+            ip.seed = n + 1;
+            injectors.push_back(
+                std::make_unique<Injector>(fabric, queue, n, ip));
+            injectors.back()->start(kRun);
+        }
+        // Run generation + a drain tail, then stop the poller.
+        queue.run(kRun + 200 * kTicksPerUs);
+        drain.stop();
+        queue.run();
+
+        double sentTotal = 0;
+        double throttledTotal = 0;
+        for (auto &inj : injectors) {
+            sentTotal += inj->sent.value();
+            throttledTotal += inj->throttled.value();
+        }
+        const double ms = ticksToUs(kRun) / 1000.0;
+        const double deliveredMBps =
+            drain.received() * 64.0 / (ms * 1000.0);
+        std::printf("%13.0f MB/s %13.1f MB/s %11.2f us %11.2f us %12.0f\n",
+                    offered, deliveredMBps,
+                    ticksToUs(static_cast<Tick>(drain.latency().mean())),
+                    ticksToUs(static_cast<Tick>(drain.latency().max())),
+                    throttledTotal);
+        if (drain.received() == 0 && sentTotal > 0)
+            pm_panic("fabric lost all traffic");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf("== Extension: fabric saturation under synthetic "
+                "traffic ==\n");
+    sweep(1, 8);
+    sweep(2, 8);
+    std::printf("\nexpected shape: delivered tracks offered until the "
+                "60 MB/s links and crossbar arbitration saturate "
+                "(~28 MB/s/node for 64 B messages: command, header and "
+                "CRC overhead plus ejection-link contention); latency "
+                "rises steeply near the knee; with 8 uplinks per "
+                "cabinet the two-cabinet system scales per-node "
+                "throughput, paying ~0.6 us extra latency for the "
+                "3-crossbar + transceiver path\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 11: unidirectional bandwidth over message size, PowerMANNA
+ * (measured) vs BIP and FM (models calibrated to [9]).
+ *
+ * Paper shape: PowerMANNA's curve saturates at the 60 MB/s single-link
+ * wire rate — "for larger messages PowerMANNA's performance is limited
+ * by its current network technology" — while BIP climbs to the
+ * ~126 MB/s the PCI interface allows.
+ */
+
+#include <cstdio>
+
+#include "baseline/usercomm.hh"
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    pm::setInformEnabled(false);
+    using namespace pm;
+
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 8;
+    msg::System sys(sp);
+
+    const auto bip = baseline::UserLevelCommModel::bip();
+    const auto fm = baseline::UserLevelCommModel::fm();
+
+    std::printf("== Figure 11: unidirectional bandwidth (MB/s) ==\n");
+    std::printf("%8s %12s %12s %12s\n", "bytes", "powermanna", "bip",
+                "fm");
+    for (unsigned bytes : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u,
+                           262144u}) {
+        const unsigned count = bytes >= 16384 ? 12 : 32;
+        const double pmBw =
+            msg::measureUnidirectionalMBps(sys, 0, 1, bytes, count);
+        std::printf("%8u %12.1f %12.1f %12.1f\n", bytes, pmBw,
+                    bip.unidirectionalMBps(bytes),
+                    fm.unidirectionalMBps(bytes));
+    }
+
+    std::printf("\npaper check: PowerMANNA saturates at ~60 MB/s (the "
+                "single-link wire rate); BIP reaches ~126 MB/s\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 12: simultaneous bidirectional bandwidth (both directions
+ * summed) over message size, PowerMANNA (measured) vs BIP and FM.
+ *
+ * Paper shape: for short messages PowerMANNA is similar to BIP; for
+ * long messages it falls well short of 2x its unidirectional rate —
+ * the 32-word link-interface FIFOs force the driving CPU to switch
+ * directions every 4 cache lines, and the switching overhead (all PIO)
+ * eats the duplex capacity. The companion ablation bench
+ * (ablation_fifo_depth) shows larger FIFOs recovering the loss, as the
+ * paper suggests.
+ */
+
+#include <cstdio>
+
+#include "baseline/usercomm.hh"
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    pm::setInformEnabled(false);
+    using namespace pm;
+
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 8;
+    msg::System sys(sp);
+
+    const auto bip = baseline::UserLevelCommModel::bip();
+    const auto fm = baseline::UserLevelCommModel::fm();
+
+    std::printf("== Figure 12: simultaneous bidirectional bandwidth "
+                "(MB/s, both directions) ==\n");
+    std::printf("%8s %12s %12s %12s\n", "bytes", "powermanna", "bip",
+                "fm");
+    for (unsigned bytes : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u,
+                           262144u}) {
+        const unsigned count = bytes >= 16384 ? 12 : 32;
+        const double pmBw =
+            msg::measureBidirectionalMBps(sys, 0, 1, bytes, count);
+        std::printf("%8u %12.1f %12.1f %12.1f\n", bytes, pmBw,
+                    bip.bidirectionalMBps(bytes),
+                    fm.bidirectionalMBps(bytes));
+    }
+
+    // The paper's diagnosis, quantified: unidirectional vs duplex.
+    const double uni = msg::measureUnidirectionalMBps(sys, 0, 1, 65536, 12);
+    const double bi = msg::measureBidirectionalMBps(sys, 0, 1, 65536, 12);
+    std::printf("\npaper check (64 KB): unidirectional %.1f MB/s, "
+                "bidirectional total %.1f MB/s (%.0f%% of the 2x%.0f "
+                "duplex capacity) — the small-FIFO direction-switching "
+                "loss\n",
+                uni, bi, 100.0 * bi / (2.0 * uni), uni);
+    return 0;
+}

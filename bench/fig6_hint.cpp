@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 6: HINT QUIPS-over-time curves for data types DOUBLE and INT
+ * on the four node configurations (PowerMANNA, SUN, PC at 180 MHz and
+ * at 266 MHz).
+ *
+ * Paper shape to reproduce:
+ *  - every curve rises while the working set sits in the caches, then
+ *    steps down as L1 and later L2 are exhausted, memory access
+ *    ultimately dominating;
+ *  - DOUBLE: PowerMANNA slightly better than the reduced-clock PC in
+ *    the cache region, the PC better in the memory region (load
+ *    pipelining + less superfluous prefetch traffic);
+ *  - INT: PowerMANNA and PC about equal, both above the SUN;
+ *  - PowerMANNA/PC do better on INT than DOUBLE; the SUN is lower.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "machines/machines.hh"
+#include "node/node.hh"
+#include "sim/logging.hh"
+#include "workloads/runner.hh"
+
+int
+main()
+{
+    pm::setInformEnabled(false);
+    using namespace pm;
+    using workloads::HintParams;
+    using workloads::HintType;
+
+    const auto configs = machines::allNodeConfigs();
+
+    for (HintType type : {HintType::Double, HintType::Int}) {
+        const bool dbl = type == HintType::Double;
+        std::printf("\n== Figure 6%s: HINT %s — QUIPS (millions) over "
+                    "working set ==\n",
+                    dbl ? "a" : "b", dbl ? "DOUBLE" : "INT");
+        std::printf("%12s %10s", "wset", "m");
+        for (const auto &c : configs)
+            std::printf(" %12s", c.name.c_str());
+        std::printf("\n");
+
+        // Run the sweep once per machine, then print row-per-size.
+        std::vector<std::vector<workloads::HintPoint>> curves;
+        for (const auto &cfg : configs) {
+            node::Node node(cfg);
+            HintParams hp;
+            hp.type = type;
+            hp.minLog2m = 9;
+            hp.maxLog2m = 20;
+            curves.push_back(workloads::runHint(node, hp));
+        }
+
+        for (std::size_t row = 0; row < curves[0].size(); ++row) {
+            const auto &ref = curves[0][row];
+            std::printf("%10lluKB %10llu",
+                        (unsigned long long)(ref.workingSetBytes / 1024),
+                        (unsigned long long)ref.subintervals);
+            for (const auto &curve : curves)
+                std::printf(" %12.2f", curve[row].quips() / 1e6);
+            std::printf("\n");
+        }
+
+        std::printf("-- elapsed per size (us), for the time axis --\n");
+        std::printf("%12s %10s", "wset", "m");
+        for (const auto &c : configs)
+            std::printf(" %12s", c.name.c_str());
+        std::printf("\n");
+        for (std::size_t row = 0; row < curves[0].size(); ++row) {
+            const auto &ref = curves[0][row];
+            std::printf("%10lluKB %10llu",
+                        (unsigned long long)(ref.workingSetBytes / 1024),
+                        (unsigned long long)ref.subintervals);
+            for (const auto &curve : curves)
+                std::printf(" %12.1f", ticksToUs(curve[row].elapsed));
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 9: one-way latency (half ping-pong) over message size, for
+ * PowerMANNA (measured on the simulated machine) and for BIP and FM on
+ * the Myrinet PC cluster (cost models calibrated to [9], exactly as
+ * the paper takes its baseline numbers from [9]).
+ *
+ * Paper anchors: 8 bytes in 2.75 us on PowerMANNA vs 6.4 us (BIP) and
+ * 9.2 us (FM) — PowerMANNA clearly ahead for short messages; for large
+ * messages its 60 MB/s link makes it slower than Myrinet.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/usercomm.hh"
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    pm::setInformEnabled(false);
+    using namespace pm;
+
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 8;
+    msg::System sys(sp);
+
+    const auto bip = baseline::UserLevelCommModel::bip();
+    const auto fm = baseline::UserLevelCommModel::fm();
+
+    std::printf("== Figure 9: one-way latency (us) over message size "
+                "==\n");
+    std::printf("%8s %12s %12s %12s\n", "bytes", "powermanna", "bip",
+                "fm");
+    for (unsigned bytes :
+         {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        const double pmUs =
+            msg::measureOneWayLatencyUs(sys, 0, 1, bytes, 8);
+        std::printf("%8u %12.2f %12.2f %12.2f\n", bytes, pmUs,
+                    bip.oneWayLatencyUs(bytes), fm.oneWayLatencyUs(bytes));
+    }
+
+    std::printf("\npaper anchor check (8 bytes): PowerMANNA %.2f us "
+                "(paper: 2.75), BIP %.2f (6.4), FM %.2f (9.2)\n",
+                msg::measureOneWayLatencyUs(sys, 0, 1, 8, 8),
+                bip.oneWayLatencyUs(8), fm.oneWayLatencyUs(8));
+    return 0;
+}

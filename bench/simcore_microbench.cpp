@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own primitives —
+ * the event queue, the cache model, the resource calendars, and the
+ * CRC — so regressions in simulator performance (host-side) are
+ * visible independently of the architecture experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/resource.hh"
+#include "ni/crc32.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace pm;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            q.schedule(static_cast<Tick>(i * 7 % 1000), [&] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheHitAccess(benchmark::State &state)
+{
+    struct NullBus : mem::BusTarget
+    {
+        mem::BusResult
+        request(const mem::BusReq &, Tick now) override
+        {
+            return mem::BusResult{now + 100000, false, false};
+        }
+    } bus;
+    mem::CacheParams p;
+    p.sizeBytes = 32 * 1024;
+    p.assoc = 8;
+    p.lineSize = 64;
+    mem::Cache cache(p, &bus);
+    // Warm one line.
+    cache.access(mem::MemReq{0x1000, false, 0}, 0);
+    Tick t = 1000000;
+    for (auto _ : state) {
+        auto r = cache.access(mem::MemReq{0x1000, false, 0}, t);
+        benchmark::DoNotOptimize(r);
+        t += 1000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitAccess);
+
+void
+BM_ResourceCalendarAcquire(benchmark::State &state)
+{
+    mem::Resource r;
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(r.acquire(t, 100));
+        t += 150;
+        if ((t % (1 << 20)) < 150)
+            r.pruneBelow(t - 1000);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceCalendarAcquire);
+
+void
+BM_Crc32Words(benchmark::State &state)
+{
+    sim::SplitMix64 rng(1);
+    std::vector<std::uint64_t> words(1024);
+    for (auto &w : words)
+        w = rng.next();
+    for (auto _ : state) {
+        ni::Crc32 crc;
+        for (auto w : words)
+            crc.update(w);
+        benchmark::DoNotOptimize(crc.value());
+    }
+    state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_Crc32Words);
+
+} // namespace
+
+BENCHMARK_MAIN();

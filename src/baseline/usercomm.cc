@@ -1,0 +1,87 @@
+#include "baseline/usercomm.hh"
+
+#include <algorithm>
+
+namespace pm::baseline {
+
+UserLevelCommModel
+UserLevelCommModel::bip()
+{
+    // Anchors: 8 B one-way 6.4 us (paper, quoting [9]); ~126 MB/s peak
+    // (1.28 Gb/s Myrinet exploited up to the PCI interface's limit).
+    UserLevelCommModel m("bip");
+    m.sendOverheadUs = 1.9;
+    m.recvOverheadUs = 1.8;
+    m.wireLatencyUs = 2.6;
+    m.pioPerByteUs = 0.0125; // 80 MB/s PIO path for small messages
+    m.dmaThresholdBytes = 256;
+    m.dmaSetupUs = 2.0;
+    m.dmaMBps = 126.0;
+    m.pciCapMBps = 132.0;
+    m.perMessageGapUs = 3.0;
+    return m;
+}
+
+UserLevelCommModel
+UserLevelCommModel::fm()
+{
+    // Anchors: 8 B one-way 9.2 us; software flow control and an extra
+    // copy halve the sustainable bandwidth (~70 MB/s for FM 2.x).
+    UserLevelCommModel m("fm");
+    m.sendOverheadUs = 2.9;
+    m.recvOverheadUs = 2.8;
+    m.wireLatencyUs = 3.3;
+    m.pioPerByteUs = 0.025; // credit checks + copy
+    m.dmaThresholdBytes = 1024;
+    m.dmaSetupUs = 2.5;
+    m.dmaMBps = 70.0;
+    m.pciCapMBps = 110.0; // the LANai also serializes per-message work
+    m.perMessageGapUs = 4.5;
+    return m;
+}
+
+double
+UserLevelCommModel::transferUs(std::uint64_t bytes) const
+{
+    const double pio = bytes * pioPerByteUs;
+    if (bytes <= dmaThresholdBytes)
+        return pio;
+    const double dma = dmaSetupUs + bytes / dmaMBps; // MB/s == B/us
+    return std::min(pio, dma);
+}
+
+double
+UserLevelCommModel::oneWayLatencyUs(std::uint64_t bytes) const
+{
+    return sendOverheadUs + wireLatencyUs + recvOverheadUs +
+           transferUs(bytes);
+}
+
+double
+UserLevelCommModel::gapUs(std::uint64_t bytes) const
+{
+    // At saturation the sender pipelines: the gap is the larger of the
+    // per-message host cost and the wire/DMA occupancy.
+    const double host = perMessageGapUs + bytes * 0.0; // host-side fixed
+    const double wire = transferUs(bytes);
+    return std::max(host, wire);
+}
+
+double
+UserLevelCommModel::unidirectionalMBps(std::uint64_t bytes) const
+{
+    const double g = gapUs(bytes);
+    return g > 0.0 ? std::min(bytes / g, pciCapMBps) : 0.0;
+}
+
+double
+UserLevelCommModel::bidirectionalMBps(std::uint64_t bytes) const
+{
+    // Send and receive DMA share the PCI bus; the NIC processor also
+    // serializes some per-message work, so both directions together
+    // cap at the PCI ceiling rather than doubling.
+    const double oneWay = unidirectionalMBps(bytes);
+    return std::min(2.0 * oneWay, pciCapMBps);
+}
+
+} // namespace pm::baseline

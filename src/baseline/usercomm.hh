@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Baseline user-level communication systems for Figures 9-12: BIP and
+ * FM on a Myrinet-connected Pentium Pro 200 cluster.
+ *
+ * The paper itself does not measure these — it takes the numbers from
+ * Bhoedjang/Rühl/Bal (IEEE Computer, Nov. 1998) [9] because the
+ * authors' own Linux 2.2/GM stack was too slow for a fair comparison.
+ * We mirror that methodology: the baselines are parametric cost models
+ * (LogGP-style, with a PIO->DMA switch and a PCI bandwidth ceiling)
+ * calibrated to the published anchor points quoted in the paper:
+ * 8-byte one-way latency of 6.4 us (BIP) and 9.2 us (FM), and BIP's
+ * ~126 MB/s PCI-limited peak bandwidth.
+ */
+
+#ifndef PM_BASELINE_USERCOMM_HH
+#define PM_BASELINE_USERCOMM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pm::baseline {
+
+/** A parametric user-level NIC communication system. */
+class UserLevelCommModel
+{
+  public:
+    /** BIP (Basic Interface for Parallelism): minimal, raw-hardware. */
+    static UserLevelCommModel bip();
+
+    /** FM (Fast Messages): adds software flow control and copies. */
+    static UserLevelCommModel fm();
+
+    const std::string &name() const { return _name; }
+
+    /** One-way latency (half ping-pong) for an n-byte message, in us. */
+    double oneWayLatencyUs(std::uint64_t bytes) const;
+
+    /**
+     * Message-sending time at the network saturation point (the LogP
+     * gap), in us.
+     */
+    double gapUs(std::uint64_t bytes) const;
+
+    /** Steady-state unidirectional throughput, MB/s. */
+    double unidirectionalMBps(std::uint64_t bytes) const;
+
+    /**
+     * Steady-state simultaneous bidirectional throughput (sum of both
+     * directions), MB/s. Shared-PCI systems cannot double.
+     */
+    double bidirectionalMBps(std::uint64_t bytes) const;
+
+    // Parameters (public for the ablation benches).
+    double sendOverheadUs; //!< Host send overhead o_s.
+    double recvOverheadUs; //!< Host receive overhead o_r.
+    double wireLatencyUs; //!< Switch + wire + NIC latency L.
+    double pioPerByteUs; //!< Per-byte cost on the PIO (small) path.
+    std::uint64_t dmaThresholdBytes; //!< Switch to DMA above this size.
+    double dmaSetupUs; //!< DMA descriptor + doorbell cost.
+    double dmaMBps; //!< DMA streaming bandwidth.
+    double pciCapMBps; //!< Shared-PCI ceiling for send+receive traffic.
+    double perMessageGapUs; //!< Back-to-back per-message pipeline cost.
+
+  private:
+    explicit UserLevelCommModel(std::string name) : _name(std::move(name))
+    {
+        sendOverheadUs = recvOverheadUs = wireLatencyUs = 0.0;
+        pioPerByteUs = 0.0;
+        dmaThresholdBytes = 0;
+        dmaSetupUs = 0.0;
+        dmaMBps = 1.0;
+        pciCapMBps = 132.0;
+        perMessageGapUs = 0.0;
+    }
+
+    std::string _name;
+
+    /** Per-message transfer time excluding fixed latency, in us. */
+    double transferUs(std::uint64_t bytes) const;
+};
+
+} // namespace pm::baseline
+
+#endif // PM_BASELINE_USERCOMM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Processor timing-model parameters.
+ *
+ * The CPU model is deliberately coarse: the paper's node benchmarks are
+ * memory-hierarchy benchmarks, and the processor differences that
+ * matter are clock rate, sustained FP/integer throughput, and whether
+ * cache misses can be overlapped ("load/store pipelining" in the
+ * paper's words — the MPC620 cannot overlap misses; the Pentium II
+ * can). Everything else (rename buffers, branch prediction, precise
+ * exceptions) affects all three machines roughly equally on these
+ * regular kernels and is folded into the issue width.
+ */
+
+#ifndef PM_CPU_PARAMS_HH
+#define PM_CPU_PARAMS_HH
+
+#include <string>
+
+#include "cpu/tlb.hh"
+#include "sim/types.hh"
+
+namespace pm::cpu {
+
+/** Static configuration of one processor's timing model. */
+struct CpuParams
+{
+    std::string name = "cpu";
+    double clockMhz = 180.0;
+    /** Sustained non-memory instructions issued per cycle. */
+    double issueWidth = 2.0;
+    /** Sustained pipelined floating-point operations per cycle. */
+    double fpOpsPerCycle = 1.0;
+    /** Sustained integer ALU operations per cycle. */
+    double intOpsPerCycle = 2.0;
+    /**
+     * Bus-level (beyond-L2) misses the core can have in flight. 1
+     * models a blocking cache (MPC620, UltraSPARC-I); >1 models
+     * hit-under-miss / out-of-order miss overlap (Pentium II).
+     */
+    unsigned maxOutstandingMisses = 1;
+    /** Fixed core-side cycles added to every bus-level miss. */
+    Cycles missExtraCycles = 0;
+    /** Data-TLB geometry and table-walk cost. */
+    TlbParams tlb;
+    /**
+     * Effective core stall per L1 miss that hits in the private L2
+     * (partially pipelined, so typically below the raw L2 latency).
+     */
+    Cycles l2HitStallCycles = 3;
+};
+
+} // namespace pm::cpu
+
+#endif // PM_CPU_PARAMS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Quasi-synchronous scheduler for multi-processor workload runs.
+ *
+ * Repeatedly steps the unfinished processor with the smallest local
+ * time. Because shared resources (mem::Resource) arbitrate by
+ * timestamp, requests reach them in near-global-time order and
+ * contention is modelled accurately to within one workload chunk.
+ */
+
+#ifndef PM_CPU_SCHED_HH
+#define PM_CPU_SCHED_HH
+
+#include <utility>
+#include <vector>
+
+#include "cpu/proc.hh"
+#include "cpu/workload.hh"
+
+namespace pm::cpu {
+
+/** A (processor, kernel) pair to be run. */
+struct Job
+{
+    Proc *proc = nullptr;
+    Workload *work = nullptr;
+};
+
+/**
+ * Run all jobs to completion, interleaving by minimum local time.
+ * On return every workload has finished and every processor has
+ * drained its outstanding misses.
+ */
+void runJobs(std::vector<Job> &jobs);
+
+} // namespace pm::cpu
+
+#endif // PM_CPU_SCHED_HH

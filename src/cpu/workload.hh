@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The workload interface: resumable kernels executed by a Proc.
+ *
+ * Workloads are explicit state machines. step() executes one *bounded*
+ * chunk of work (e.g. one matrix row, one polling iteration) so the
+ * Scheduler can interleave multiple processors in near-global-time
+ * order; the chunk length bounds the timing skew between processors.
+ */
+
+#ifndef PM_CPU_WORKLOAD_HH
+#define PM_CPU_WORKLOAD_HH
+
+#include <string>
+
+namespace pm::cpu {
+
+class Proc;
+
+/** A resumable kernel run on one processor. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /**
+     * Execute one bounded chunk on `proc`.
+     * @return true while more work remains; false when finished.
+     */
+    virtual bool step(Proc &proc) = 0;
+
+    /** Human-readable name for reports. */
+    virtual std::string name() const { return "workload"; }
+};
+
+} // namespace pm::cpu
+
+#endif // PM_CPU_WORKLOAD_HH

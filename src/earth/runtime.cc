@@ -1,0 +1,305 @@
+#include "earth/runtime.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pm::earth {
+
+namespace {
+
+/** Token opcodes (word 0 on the wire). */
+enum Op : std::uint64_t {
+    kSync = 1,
+    kInvoke = 2,
+    kGetReq = 3,
+    kGetReply = 4,
+    kPut = 5,
+};
+
+} // namespace
+
+// ---- NodeRt. ------------------------------------------------------------
+
+NodeRt::NodeRt(Runtime &rt, unsigned nodeId)
+    : _rt(rt),
+      _nodeId(nodeId),
+      _comm(rt.system(), nodeId)
+{
+    armReceiver();
+}
+
+NodeRt::~NodeRt()
+{
+    if (_euQueued)
+        _rt.system().queue().cancel(_euEventId);
+}
+
+cpu::Proc &
+NodeRt::proc()
+{
+    return _comm.proc();
+}
+
+void
+NodeRt::armReceiver()
+{
+    // The SU: one perpetually re-armed receive that dispatches tokens.
+    _comm.postRecv([this](std::vector<std::uint64_t> words, bool crcOk) {
+        if (!crcOk)
+            pm_panic("earth: token failed CRC on node %u", _nodeId);
+        handleToken(std::move(words));
+        armReceiver();
+    });
+}
+
+SlotRef
+NodeRt::makeSlot(unsigned count, FiberFn continuation)
+{
+    if (count == 0)
+        pm_fatal("earth: sync slot with zero count would never be "
+                 "awaited consistently; spawn the fiber directly");
+    const std::uint32_t id = _nextSlot++;
+    _slots[id] = Slot{count, std::move(continuation)};
+    return SlotRef{_nodeId, id};
+}
+
+void
+NodeRt::syncLocal(std::uint32_t slotId)
+{
+    auto it = _slots.find(slotId);
+    if (it == _slots.end())
+        pm_panic("earth: sync on unknown slot %u at node %u", slotId,
+                 _nodeId);
+    ++syncsHandled;
+    proc().stallCycles(_rt.costs().syncUpdate);
+    if (--it->second.count == 0) {
+        FiberFn fiber = std::move(it->second.continuation);
+        _slots.erase(it);
+        spawnLocal(std::move(fiber));
+    }
+}
+
+void
+NodeRt::sync(SlotRef slot)
+{
+    if (slot.node == _nodeId) {
+        syncLocal(slot.id);
+        return;
+    }
+    send(slot.node, {kSync, slot.id});
+}
+
+void
+NodeRt::spawnLocal(FiberFn fiber)
+{
+    _ready.push_back(std::move(fiber));
+    scheduleEu();
+}
+
+void
+NodeRt::invokeRemote(unsigned node, std::uint32_t fnId,
+                     std::vector<std::uint64_t> args)
+{
+    if (node == _nodeId) {
+        // Local invoke: just a fiber.
+        spawnLocal([this, fnId, args = std::move(args)](NodeRt &self) {
+            _rt.function(fnId)(self, args);
+        });
+        return;
+    }
+    std::vector<std::uint64_t> token{kInvoke, fnId, args.size()};
+    token.insert(token.end(), args.begin(), args.end());
+    send(node, std::move(token));
+}
+
+void
+NodeRt::storeLocal(Addr addr, std::uint64_t value)
+{
+    proc().store(addr);
+    _memory[addr] = value;
+}
+
+std::uint64_t
+NodeRt::loadLocal(Addr addr)
+{
+    proc().load(addr);
+    auto it = _memory.find(addr);
+    return it == _memory.end() ? 0 : it->second;
+}
+
+void
+NodeRt::getRemote(unsigned node, Addr addr, std::uint64_t *dest,
+                  SlotRef slot)
+{
+    ++remoteOps;
+    if (node == _nodeId) {
+        *dest = loadLocal(addr);
+        sync(slot);
+        return;
+    }
+    const std::uint32_t getId = _nextGet++;
+    _getDest[getId] = dest;
+    send(node, {kGetReq, addr, _nodeId, getId, slot.node, slot.id});
+}
+
+void
+NodeRt::putRemote(unsigned node, Addr addr, std::uint64_t value,
+                  SlotRef slot)
+{
+    ++remoteOps;
+    if (node == _nodeId) {
+        storeLocal(addr, value);
+        sync(slot);
+        return;
+    }
+    send(node, {kPut, addr, value, slot.node, slot.id});
+}
+
+void
+NodeRt::send(unsigned dstNode, std::vector<std::uint64_t> token)
+{
+    ++_rt._inFlight;
+    _comm.postSend(dstNode, std::move(token));
+}
+
+void
+NodeRt::handleToken(std::vector<std::uint64_t> w)
+{
+    --_rt._inFlight;
+    proc().stallCycles(_rt.costs().requestHandling);
+    if (w.empty())
+        pm_panic("earth: empty token");
+    switch (w[0]) {
+      case kSync:
+        syncLocal(static_cast<std::uint32_t>(w[1]));
+        return;
+      case kInvoke: {
+        const std::uint32_t fnId = static_cast<std::uint32_t>(w[1]);
+        const std::uint64_t nargs = w[2];
+        std::vector<std::uint64_t> args(w.begin() + 3,
+                                        w.begin() + 3 + nargs);
+        spawnLocal([this, fnId, args = std::move(args)](NodeRt &self) {
+            _rt.function(fnId)(self, args);
+        });
+        return;
+      }
+      case kGetReq: {
+        const Addr addr = w[1];
+        const unsigned requester = static_cast<unsigned>(w[2]);
+        const std::uint64_t value = loadLocal(addr);
+        // Reply carries the value plus the slot to sync afterwards.
+        send(requester, {kGetReply, w[3], value, w[4], w[5]});
+        return;
+      }
+      case kGetReply: {
+        const std::uint32_t getId = static_cast<std::uint32_t>(w[1]);
+        auto it = _getDest.find(getId);
+        if (it == _getDest.end())
+            pm_panic("earth: GET reply for unknown request %u", getId);
+        *it->second = w[2];
+        _getDest.erase(it);
+        sync(SlotRef{static_cast<unsigned>(w[3]),
+                     static_cast<std::uint32_t>(w[4])});
+        return;
+      }
+      case kPut: {
+        storeLocal(w[1], w[2]);
+        sync(SlotRef{static_cast<unsigned>(w[3]),
+                     static_cast<std::uint32_t>(w[4])});
+        return;
+      }
+      default:
+        pm_panic("earth: unknown token opcode %llu",
+                 (unsigned long long)w[0]);
+    }
+}
+
+void
+NodeRt::scheduleEu()
+{
+    if (_euQueued || _ready.empty())
+        return;
+    _euQueued = true;
+    auto &queue = _rt.system().queue();
+    const Tick when = std::max(queue.now(), proc().time());
+    _euEventId = queue.schedule(when, [this] {
+        _euQueued = false;
+        euStep();
+    });
+}
+
+void
+NodeRt::euStep()
+{
+    if (_ready.empty())
+        return;
+    proc().advanceTo(_rt.system().queue().now());
+    proc().stallCycles(_rt.costs().fiberDispatch);
+    FiberFn fiber = std::move(_ready.front());
+    _ready.pop_front();
+    ++fibersRun;
+    fiber(*this);
+    scheduleEu();
+}
+
+// ---- Runtime. -------------------------------------------------------------
+
+Runtime::Runtime(msg::System &sys, EarthCosts costs)
+    : _sys(sys),
+      _costs(costs)
+{
+    sys.resetForRun();
+    for (unsigned n = 0; n < sys.numNodes(); ++n)
+        _nodes.push_back(std::make_unique<NodeRt>(*this, n));
+}
+
+void
+Runtime::registerFunction(std::uint32_t fnId, ThreadedFn fn)
+{
+    if (_functions.count(fnId))
+        pm_fatal("earth: function %u registered twice", fnId);
+    _functions[fnId] = std::move(fn);
+}
+
+const ThreadedFn &
+Runtime::function(std::uint32_t fnId) const
+{
+    auto it = _functions.find(fnId);
+    if (it == _functions.end())
+        pm_panic("earth: invoke of unregistered function %u", fnId);
+    return it->second;
+}
+
+bool
+Runtime::quiescent() const
+{
+    if (_inFlight > 0)
+        return false;
+    for (const auto &n : _nodes)
+        if (!n->_ready.empty() || n->_euQueued)
+            return false;
+    return true;
+}
+
+Tick
+Runtime::run()
+{
+    auto &queue = _sys.queue();
+    Tick start = queue.now();
+    for (const auto &n : _nodes)
+        start = std::max(start, n->_comm.proc().time());
+
+    while (!quiescent() && queue.step()) {
+    }
+    if (!quiescent())
+        pm_panic("earth: deadlock — event queue drained while fibers or "
+                 "tokens remain");
+
+    Tick end = queue.now();
+    for (const auto &n : _nodes)
+        end = std::max(end, n->_comm.proc().time());
+    return end > start ? end - start : 0;
+}
+
+} // namespace pm::earth

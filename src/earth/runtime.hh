@@ -1,0 +1,209 @@
+/**
+ * @file
+ * An EARTH-style fine-grain multithreading runtime on PowerMANNA.
+ *
+ * Section 7 of the paper: "for the forerunner MANNA machine, the EARTH
+ * system was shown to offer low communication cost close to the
+ * hardware limits. In a cooperation project with the University of
+ * Delaware, EARTH is currently being ported to the PowerMANNA
+ * machine." This module is that port, built on the simulator's
+ * user-level driver.
+ *
+ * The EARTH model (Hum et al. [18]): programs decompose into *fibers*
+ * — short, non-preemptive code sequences scheduled when their inputs
+ * are ready. Readiness is tracked by *sync slots*: counters that fire
+ * a fiber when they reach zero. Communication is *split-phase*: a
+ * remote load (GET_SYNC) or store (DATA_SYNC) is issued and the
+ * requesting fiber ends; the response decrements a sync slot, which
+ * eventually schedules the continuation fiber. Each node conceptually
+ * has an Execution Unit running fibers and a Synchronization Unit
+ * handling remote requests; on PowerMANNA both are the node CPU
+ * driving the link interface — exactly the lightweight-NI usage the
+ * paper advocates.
+ *
+ * All operations are charged on the simulated processor and travel as
+ * real messages (CRC-checked) through the crossbar network.
+ */
+
+#ifndef PM_EARTH_RUNTIME_HH
+#define PM_EARTH_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "msg/driver.hh"
+#include "msg/system.hh"
+#include "sim/stats.hh"
+
+namespace pm::earth {
+
+class NodeRt;
+class Runtime;
+
+/** A fiber body: runs to completion on its node's processor. */
+using FiberFn = std::function<void(NodeRt &)>;
+
+/** A registered (SPMD) threaded function invocable remotely. */
+using ThreadedFn =
+    std::function<void(NodeRt &, const std::vector<std::uint64_t> &)>;
+
+/** Handle of a sync slot on some node. */
+struct SlotRef
+{
+    unsigned node = 0;
+    std::uint32_t id = 0;
+};
+
+/** Per-fiber / per-op cost knobs (EARTH-MANNA-style overheads). */
+struct EarthCosts
+{
+    Cycles fiberDispatch = 30; //!< EU: pick + start one ready fiber.
+    Cycles syncUpdate = 15; //!< SU: decrement a sync slot.
+    Cycles requestHandling = 40; //!< SU: decode + serve a remote op.
+};
+
+/** One node's EARTH runtime (EU + SU on the node CPU). */
+class NodeRt
+{
+  public:
+    NodeRt(Runtime &rt, unsigned nodeId);
+
+    /** Cancels any still-scheduled EU event. */
+    ~NodeRt();
+
+    NodeRt(const NodeRt &) = delete;
+    NodeRt &operator=(const NodeRt &) = delete;
+
+    unsigned nodeId() const { return _nodeId; }
+    cpu::Proc &proc();
+
+    // ---- Sync slots. --------------------------------------------------
+
+    /**
+     * Create a sync slot that schedules `continuation` locally when
+     * its count reaches zero.
+     */
+    SlotRef makeSlot(unsigned count, FiberFn continuation);
+
+    /** Decrement a slot (local or remote: SYNC token). */
+    void sync(SlotRef slot);
+
+    // ---- Fibers. -------------------------------------------------------
+
+    /** Enqueue a fiber on this node's ready queue. */
+    void spawnLocal(FiberFn fiber);
+
+    /**
+     * Invoke registered function `fnId` on `node` with `args`
+     * (INVOKE token). Fire-and-forget; completion is signalled by
+     * whatever syncs the function body performs.
+     */
+    void invokeRemote(unsigned node, std::uint32_t fnId,
+                      std::vector<std::uint64_t> args);
+
+    // ---- Split-phase global memory. ------------------------------------
+
+    /** Write to this node's slice of global memory (local, charged). */
+    void storeLocal(Addr addr, std::uint64_t value);
+
+    /** Read this node's slice (local, charged). */
+    std::uint64_t loadLocal(Addr addr);
+
+    /**
+     * GET_SYNC: fetch `addr` from `node`'s memory into `dest` (host
+     * storage of the continuation), then sync `slot`.
+     */
+    void getRemote(unsigned node, Addr addr, std::uint64_t *dest,
+                   SlotRef slot);
+
+    /** DATA_SYNC: store `value` to `addr` on `node`, then sync `slot`. */
+    void putRemote(unsigned node, Addr addr, std::uint64_t value,
+                   SlotRef slot);
+
+    sim::Scalar fibersRun{"fibers_run", ""};
+    sim::Scalar syncsHandled{"syncs", ""};
+    sim::Scalar remoteOps{"remote_ops", ""};
+
+  private:
+    friend class Runtime;
+
+    struct Slot
+    {
+        unsigned count = 0;
+        FiberFn continuation;
+    };
+
+    Runtime &_rt;
+    unsigned _nodeId;
+    msg::PmComm _comm;
+    std::deque<FiberFn> _ready;
+    std::map<std::uint32_t, Slot> _slots;
+    std::uint32_t _nextSlot = 1;
+    std::map<Addr, std::uint64_t> _memory; //!< This node's global slice.
+    std::map<std::uint32_t, std::uint64_t *> _getDest;
+    std::uint32_t _nextGet = 1;
+    bool _euQueued = false;
+    std::uint64_t _euEventId = 0;
+
+    void armReceiver();
+    void handleToken(std::vector<std::uint64_t> token);
+    void scheduleEu();
+    void euStep();
+    void syncLocal(std::uint32_t slotId);
+    void send(unsigned dstNode, std::vector<std::uint64_t> token);
+};
+
+/** The machine-wide EARTH runtime. */
+class Runtime
+{
+  public:
+    /**
+     * @param sys The machine (one NodeRt is built per node).
+     * @param costs Software overhead knobs.
+     */
+    explicit Runtime(msg::System &sys, EarthCosts costs = {});
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    msg::System &system() { return _sys; }
+    const EarthCosts &costs() const { return _costs; }
+    NodeRt &node(unsigned i) { return *_nodes.at(i); }
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(_nodes.size());
+    }
+
+    /**
+     * Register an SPMD function under `fnId` on every node. Must be
+     * done before it is invoked remotely.
+     */
+    void registerFunction(std::uint32_t fnId, ThreadedFn fn);
+
+    /**
+     * Run until global quiescence: no ready fibers, no in-flight
+     * tokens, no pending syncs.
+     * @return Simulated ticks elapsed.
+     */
+    Tick run();
+
+  private:
+    friend class NodeRt;
+
+    msg::System &_sys;
+    EarthCosts _costs;
+    std::vector<std::unique_ptr<NodeRt>> _nodes;
+    std::map<std::uint32_t, ThreadedFn> _functions;
+    std::uint64_t _inFlight = 0; //!< Tokens sent but not yet handled.
+
+    bool quiescent() const;
+    const ThreadedFn &function(std::uint32_t fnId) const;
+};
+
+} // namespace pm::earth
+
+#endif // PM_EARTH_RUNTIME_HH

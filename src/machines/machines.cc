@@ -1,0 +1,217 @@
+#include "machines/machines.hh"
+
+#include <sstream>
+
+namespace pm::machines {
+
+node::NodeParams
+powerMannaN(unsigned n)
+{
+    node::NodeParams p;
+    p.name = "powermanna";
+    p.numCpus = n;
+
+    // MPC620: 4-issue superscalar, six execution units. Sustained
+    // non-memory issue on regular loop code ~2.5/cycle; one pipelined
+    // FPU (1 op/cycle sustained); two integer units. The paper singles
+    // out the *missing load/store (miss) pipelining*: blocking cache.
+    p.cpu.name = "ppc620";
+    p.cpu.clockMhz = 180.0;
+    p.cpu.issueWidth = 2.5;
+    p.cpu.fpOpsPerCycle = 1.2; // FMA, sustained (dependency-limited)
+    p.cpu.intOpsPerCycle = 2.0;
+    p.cpu.maxOutstandingMisses = 1;
+    p.cpu.missExtraCycles = 2;
+    p.cpu.l2HitStallCycles = 3; // on-chip-speed L2 at the core clock
+    p.cpu.tlb.entries = 128; // MPC620: 128-entry, 2-way D-TLB
+    p.cpu.tlb.walkCycles = 20; // plus the modelled PTE read
+    p.cpu.tlb.hashedPageTables = true; // PowerPC HTAB
+
+    // 32 KB, 8-way, 64-byte lines, on chip at core clock.
+    p.l1.sizeBytes = 32 * 1024;
+    p.l1.assoc = 8;
+    p.l1.lineSize = 64;
+    p.l1.hitCycles = 1;
+    p.l1.clockMhz = 180.0;
+
+    // 2 MB per-processor L2 "running with the 180 MHz processor clock".
+    p.l2.sizeBytes = 2 * 1024 * 1024;
+    p.l2.assoc = 1;
+    p.l2.lineSize = 64;
+    p.l2.hitCycles = 5;
+    p.l2.clockMhz = 180.0;
+
+    // ADSP switch + dispatcher: 60 MHz board clock, 128-bit data paths,
+    // split transactions, point-to-point data connections. The snooped
+    // address phase is the only serialized stage.
+    p.bus.name = "switch";
+    p.bus.clockMhz = 60.0;
+    // Address tenure: the snooped address phase holds the serialized
+    // address path for the full snoop-response window (ARTRY etc.), a
+    // handful of 60 MHz cycles -- this is the resource the paper's
+    // design study [4] identifies as the >4-processor limiter.
+    p.bus.addrCycles = 3;
+    p.bus.snoopCycles = 2;
+    p.bus.dataWidthBytes = 16;
+    p.bus.lineBytes = 64;
+    p.bus.splitTransactions = true;
+    p.bus.pointToPointData = true;
+    p.bus.c2cExtraCycles = 2;
+
+    // Interleaved, pipelined DRAM: 640 MB/s aggregate (paper, Sec. 2).
+    p.dram.banks = 4;
+    p.dram.latency = 60 * kTicksPerNs;
+    p.dram.perBankMBps = 160.0;
+    return p;
+}
+
+node::NodeParams
+powerManna()
+{
+    return powerMannaN(2);
+}
+
+node::NodeParams
+sunUltra1()
+{
+    node::NodeParams p;
+    p.name = "sun_ultra1";
+    p.numCpus = 2;
+
+    // UltraSPARC-I: 4-issue in-order, 168 MHz; weaker sustained integer
+    // throughput (the paper's HINT INT results place the SUN last).
+    p.cpu.name = "ultrasparc1";
+    p.cpu.clockMhz = 168.0;
+    p.cpu.issueWidth = 2.5;
+    p.cpu.fpOpsPerCycle = 1.4; // independent FP add/mul pipes, no FMA
+    p.cpu.intOpsPerCycle = 1.2;
+    p.cpu.maxOutstandingMisses = 1;
+    p.cpu.missExtraCycles = 2;
+    p.cpu.l2HitStallCycles = 5; // external e-cache
+    p.cpu.tlb.entries = 64; // UltraSPARC-I: 64-entry D-TLB
+    p.cpu.tlb.walkCycles = 30; // software trap handler, plus PTE read
+
+    p.l1.sizeBytes = 16 * 1024;
+    p.l1.assoc = 1;
+    p.l1.lineSize = 32;
+    p.l1.hitCycles = 1;
+    p.l1.clockMhz = 168.0;
+
+    p.l2.sizeBytes = 512 * 1024;
+    p.l2.assoc = 1;
+    p.l2.lineSize = 32;
+    p.l2.hitCycles = 6;
+    p.l2.clockMhz = 168.0;
+
+    // UPA: 84 MHz, 128-bit, split address phase but one shared data
+    // path -> the ~5% dual-processor loss the paper measures.
+    p.bus.name = "upa";
+    p.bus.clockMhz = 84.0;
+    p.bus.addrCycles = 2;
+    p.bus.snoopCycles = 2;
+    p.bus.dataWidthBytes = 16;
+    p.bus.lineBytes = 32;
+    p.bus.splitTransactions = true;
+    p.bus.pointToPointData = false;
+    p.bus.c2cExtraCycles = 2;
+
+    p.dram.banks = 2;
+    p.dram.latency = 70 * kTicksPerNs;
+    p.dram.perBankMBps = 200.0;
+    return p;
+}
+
+namespace {
+
+node::NodeParams
+pentiumPcBase()
+{
+    node::NodeParams p;
+    p.numCpus = 2;
+
+    // Pentium II: 3-issue out-of-order; non-blocking caches overlap up
+    // to 4 misses (this is the "load/store pipelining" advantage the
+    // paper credits for the PC's memory-region HINT performance).
+    p.cpu.name = "pentium2";
+    p.cpu.issueWidth = 2.5;
+    p.cpu.fpOpsPerCycle = 1.0; // x87: no FMA, alternating add/mul
+    p.cpu.intOpsPerCycle = 2.0;
+    p.cpu.maxOutstandingMisses = 4;
+    p.cpu.missExtraCycles = 2;
+    p.cpu.l2HitStallCycles = 6; // off-chip half-speed back-side cache
+    p.cpu.tlb.entries = 64; // Pentium II: 64-entry D-TLB
+    p.cpu.tlb.walkCycles = 15; // hardware walk, plus the modelled PTE read
+
+    p.l1.sizeBytes = 16 * 1024;
+    p.l1.assoc = 4;
+    p.l1.lineSize = 32;
+    p.l1.hitCycles = 1;
+
+    p.l2.sizeBytes = 512 * 1024;
+    p.l2.assoc = 4;
+    p.l2.lineSize = 32;
+    p.l2.hitCycles = 8; // off-chip, half-speed back-side cache
+
+    // P6 front-side bus: 64-bit, circuit-switched from the point of
+    // view of a competing master -> the 15-20% dual-processor loss.
+    p.bus.name = "fsb";
+    p.bus.addrCycles = 2;
+    p.bus.snoopCycles = 2;
+    p.bus.dataWidthBytes = 8;
+    p.bus.lineBytes = 32;
+    p.bus.splitTransactions = false;
+    p.bus.pointToPointData = false;
+    p.bus.c2cExtraCycles = 2;
+
+    p.dram.banks = 2;
+    p.dram.latency = 60 * kTicksPerNs;
+    p.dram.perBankMBps = 120.0;
+    return p;
+}
+
+} // namespace
+
+node::NodeParams
+pentiumPc180()
+{
+    node::NodeParams p = pentiumPcBase();
+    p.name = "pc_p2_180";
+    p.cpu.clockMhz = 180.0;
+    p.l1.clockMhz = 180.0;
+    p.l2.clockMhz = 180.0;
+    p.bus.clockMhz = 60.0;
+    return p;
+}
+
+node::NodeParams
+pentiumPc266()
+{
+    node::NodeParams p = pentiumPcBase();
+    p.name = "pc_p2_266";
+    p.cpu.clockMhz = 266.0;
+    p.l1.clockMhz = 266.0;
+    p.l2.clockMhz = 266.0;
+    p.bus.clockMhz = 66.0;
+    return p;
+}
+
+std::vector<node::NodeParams>
+allNodeConfigs()
+{
+    return {powerManna(), sunUltra1(), pentiumPc180(), pentiumPc266()};
+}
+
+std::string
+describe(const node::NodeParams &p)
+{
+    std::ostringstream os;
+    os << p.name << ": " << p.numCpus << "x " << p.cpu.name << " @ "
+       << p.cpu.clockMhz << " MHz, bus " << p.bus.clockMhz << " MHz, L1 "
+       << p.l1.sizeBytes / 1024 << "K/" << p.l1.assoc << "w, L2 "
+       << p.l2.sizeBytes / 1024 << "K/" << p.l2.assoc << "w, line "
+       << p.l1.lineSize << " B, DRAM " << p.dram.aggregateMBps()
+       << " MB/s";
+    return os.str();
+}
+
+} // namespace pm::machines

@@ -1,0 +1,223 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pm::mem {
+
+NodeBus::NodeBus(const BusParams &bp, const DramParams &dp, unsigned numCpus)
+    : _bp(bp),
+      _dp(dp),
+      _clk(bp.clockMhz),
+      _addrTicks(_clk.cycles(bp.addrCycles)),
+      _snoopTicks(_clk.cycles(bp.snoopCycles)),
+      _dram(dp.name, dp.banks),
+      _caches(numCpus, nullptr),
+      _stats(bp.name)
+{
+    if (numCpus == 0)
+        pm_fatal("bus %s: need at least one CPU port", bp.name.c_str());
+    if (bp.dataWidthBytes == 0 || bp.lineBytes % bp.dataWidthBytes != 0)
+        pm_fatal("bus %s: line size must be a multiple of the data width",
+                 bp.name.c_str());
+    const Cycles beatsPerLine = bp.lineBytes / bp.dataWidthBytes;
+    _lineDataTicks = _clk.cycles(beatsPerLine);
+    _beatTicks = _clk.cycles(1);
+    _cpuPorts.resize(numCpus);
+
+    _stats.add(&transactions);
+    _stats.add(&c2cTransfers);
+    _stats.add(&dramReads);
+    _stats.add(&dramWrites);
+    _stats.add(&pioBeats);
+    _stats.add(&addrWait);
+}
+
+void
+NodeBus::attachCache(unsigned cpu, Cache *l2)
+{
+    if (cpu >= _caches.size())
+        pm_fatal("bus %s: CPU index %u out of range", _bp.name.c_str(), cpu);
+    _caches[cpu] = l2;
+}
+
+Tick
+NodeBus::acquirePath(Resource &a, Resource &b, Tick at, Tick ticks)
+{
+    if (!_bp.pointToPointData)
+        return _sharedData.acquire(at, ticks);
+    return Resource::acquirePair(a, b, at, ticks);
+}
+
+void
+NodeBus::setTimeFloor(Tick floor)
+{
+    _addrPhase.pruneBelow(floor);
+    _sharedData.pruneBelow(floor);
+    for (auto &p : _cpuPorts)
+        p.pruneBelow(floor);
+    _memPort.pruneBelow(floor);
+    _ioPort.pruneBelow(floor);
+    _dram.pruneBelow(floor);
+}
+
+BusResult
+NodeBus::request(const BusReq &req, Tick now)
+{
+    ++transactions;
+    BusResult res;
+
+    // --- Snoop (functional; applied regardless of timing mode). ------
+    bool dirtyOwner = false;
+    bool sharedByOthers = false;
+    int owner = -1;
+    if (req.type != TxType::Writeback) {
+        const bool exclusive = req.type != TxType::ReadShared;
+        for (unsigned c = 0; c < _caches.size(); ++c) {
+            if (static_cast<int>(c) == req.srcCpu || !_caches[c])
+                continue;
+            SnoopResult sr = _caches[c]->snoop(req.lineAddr, exclusive);
+            if (sr.dirtySupplied) {
+                dirtyOwner = true;
+                owner = static_cast<int>(c);
+            }
+            sharedByOthers |= sr.present;
+        }
+    }
+    res.sharedByOthers = sharedByOthers;
+    res.cacheToCache = dirtyOwner;
+
+    // --- Non-split (circuit-switched) bus: one resource holds the ----
+    // --- whole transaction.                                       ----
+    if (!_bp.splitTransactions) {
+        Tick service = _addrTicks + _snoopTicks;
+        switch (req.type) {
+          case TxType::Upgrade:
+            break;
+          case TxType::Writeback:
+            service += _lineDataTicks;
+            break;
+          case TxType::ReadShared:
+          case TxType::ReadExclusive:
+            if (dirtyOwner) {
+                service += _clk.cycles(_bp.c2cExtraCycles) + _lineDataTicks;
+            } else {
+                service += _dp.latency + _lineDataTicks;
+            }
+            break;
+        }
+        // The circuit-switched bus is held together with the DRAM
+        // bank it uses: a transaction cannot start until both are
+        // free, which also keeps the bank backlog bounded.
+        const bool usesDram =
+            req.type == TxType::Writeback ||
+            ((req.type == TxType::ReadShared ||
+              req.type == TxType::ReadExclusive) && !dirtyOwner);
+        Tick start;
+        if (usesDram) {
+            if (req.type == TxType::Writeback)
+                ++dramWrites;
+            else
+                ++dramReads;
+            Resource &bank = _dram.bank(bankOf(req.lineAddr));
+            start = Resource::acquireTogether(
+                _addrPhase, service, bank, _dp.occupancy(_bp.lineBytes),
+                now);
+        } else {
+            if (dirtyOwner)
+                ++c2cTransfers;
+            start = _addrPhase.acquire(now, service);
+        }
+        addrWait.sample(static_cast<double>(start - now));
+        res.done = start + service;
+        return res;
+    }
+
+    // --- Split-transaction path. --------------------------------------
+    const Tick addrStart = _addrPhase.acquire(now, _addrTicks);
+    addrWait.sample(static_cast<double>(addrStart - now));
+    const Tick snooped = addrStart + _addrTicks + _snoopTicks;
+
+    switch (req.type) {
+      case TxType::Upgrade:
+        // Address-only transaction: invalidations ride the snoop.
+        res.done = snooped;
+        return res;
+
+      case TxType::Writeback: {
+        ++dramWrites;
+        Resource &srcPort = _cpuPorts[req.srcCpu % _cpuPorts.size()];
+        const Tick dataStart =
+            acquirePath(srcPort, _memPort, snooped, _lineDataTicks);
+        _dram.acquire(bankOf(req.lineAddr), dataStart,
+                      _dp.occupancy(_bp.lineBytes));
+        res.done = dataStart + _lineDataTicks;
+        return res;
+      }
+
+      case TxType::ReadShared:
+      case TxType::ReadExclusive: {
+        Resource &dstPort = _cpuPorts[req.srcCpu % _cpuPorts.size()];
+        if (dirtyOwner) {
+            // Intervention: the owning cache drives the line directly
+            // to the requester through the switch. Memory is updated in
+            // the background (reserve the bank; don't extend the
+            // requester's latency).
+            ++c2cTransfers;
+            Resource &ownPort = _cpuPorts[owner % (int)_cpuPorts.size()];
+            const Tick t0 = snooped + _clk.cycles(_bp.c2cExtraCycles);
+            const Tick dataStart =
+                acquirePath(ownPort, dstPort, t0, _lineDataTicks);
+            res.done = dataStart + _lineDataTicks;
+            _dram.acquire(bankOf(req.lineAddr), res.done,
+                          _dp.occupancy(_bp.lineBytes));
+            return res;
+        }
+        ++dramReads;
+        const unsigned bank = bankOf(req.lineAddr);
+        const Tick bankStart =
+            _dram.acquire(bank, snooped, _dp.occupancy(_bp.lineBytes));
+        const Tick dataReady = bankStart + _dp.latency;
+        const Tick dataStart =
+            acquirePath(_memPort, dstPort, dataReady, _lineDataTicks);
+        res.done = dataStart + _lineDataTicks;
+        return res;
+      }
+    }
+    pm_panic("unhandled bus transaction type");
+}
+
+Tick
+NodeBus::pioBeat(int srcCpu, Tick now)
+{
+    ++pioBeats;
+    // Uncached single-beat transfers are not snooped: they hold the
+    // serialized address path for one cycle only, not the full
+    // snoop-response window.
+    const Tick pioAddrTicks = _clk.cycles(1);
+    if (!_bp.splitTransactions) {
+        const Tick service = pioAddrTicks + _beatTicks;
+        return _addrPhase.acquire(now, service) + service;
+    }
+    const Tick addrStart = _addrPhase.acquire(now, pioAddrTicks);
+    Resource &srcPort = _cpuPorts[srcCpu % (int)_cpuPorts.size()];
+    const Tick dataStart = acquirePath(srcPort, _ioPort,
+                                       addrStart + pioAddrTicks,
+                                       _beatTicks);
+    return dataStart + _beatTicks;
+}
+
+void
+NodeBus::resetTiming()
+{
+    _addrPhase.reset();
+    _sharedData.reset();
+    for (auto &p : _cpuPorts)
+        p.reset();
+    _memPort.reset();
+    _ioPort.reset();
+    _dram.reset();
+}
+
+} // namespace pm::mem

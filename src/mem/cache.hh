@@ -1,0 +1,169 @@
+/**
+ * @file
+ * A parametric set-associative cache with full MESI coherence.
+ *
+ * Caches form private two-level hierarchies per processor (L1 -> L2);
+ * the L2 talks to the node bus (BusTarget), which snoops every other
+ * processor's L2. Hierarchies are inclusive: a line present in L1 is
+ * present in its L2, so bus snoops delivered to the L2 recurse upward.
+ *
+ * The model tracks line *state*, not data contents: the quantities the
+ * paper measures (hit rates, line-length effects, snoop serialization,
+ * intervention transfers) are functions of state and timing only.
+ */
+
+#ifndef PM_MEM_CACHE_HH
+#define PM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/req.hh"
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace pm::mem {
+
+/** Interface the last-level (per-CPU) cache uses to reach the node bus. */
+class BusTarget
+{
+  public:
+    virtual ~BusTarget() = default;
+
+    /** Perform a coherent bus transaction; see BusReq / BusResult. */
+    virtual BusResult request(const BusReq &req, Tick now) = 0;
+};
+
+/** Outcome of a snoop delivered to a cache hierarchy. */
+struct SnoopResult
+{
+    bool present = false; //!< The line remains (or was) valid here.
+    bool dirtySupplied = false; //!< This hierarchy owned Modified data.
+};
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineSize = 64;
+    Cycles hitCycles = 1; //!< Lookup + hit-return latency, in clk cycles.
+    double clockMhz = 180.0;
+};
+
+/**
+ * One cache level. Construct with either a lower-level Cache (for L1)
+ * or a BusTarget (for the last private level).
+ */
+class Cache
+{
+  public:
+    /** Last-private-level constructor (talks to the bus). */
+    Cache(const CacheParams &params, BusTarget *bus);
+
+    /** Upper-level constructor (talks to a lower cache). */
+    Cache(const CacheParams &params, Cache *below);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /** Configuration access. */
+    const CacheParams &params() const { return _p; }
+    std::uint32_t lineSize() const { return _p.lineSize; }
+    std::uint32_t numSets() const { return _numSets; }
+
+    /**
+     * Perform a timed access.
+     * @param req The processor request (any byte address).
+     * @param now Time the request leaves the processor.
+     * @return Completion time and the MESI state now held.
+     */
+    AccessResult access(const MemReq &req, Tick now);
+
+    /**
+     * Deliver a snoop from the bus (or from the cache below).
+     * Recursively snoops the level above (inclusive hierarchy).
+     * @param lineAddr Line-aligned address.
+     * @param exclusive Requester wants exclusive ownership: invalidate.
+     */
+    SnoopResult snoop(Addr lineAddr, bool exclusive);
+
+    /** Current state of the line containing `addr` (Invalid if absent). */
+    MesiState lineState(Addr addr) const;
+
+    /**
+     * Functional ownership promotion (no timing): used when the level
+     * above transitions E -> M silently so that snoop responses from
+     * this level report dirty ownership correctly.
+     */
+    void promoteToModified(Addr lineAddr);
+
+    /** Invalidate one line functionally (back-invalidation). */
+    void invalidateLine(Addr lineAddr);
+
+    /** Invalidate the entire cache (between experiment phases). */
+    void invalidateAll();
+
+    /** The inclusive upper level, if any (set by the upper's ctor). */
+    Cache *upper() const { return _upper; }
+
+    /** Statistics group for this cache. */
+    sim::StatGroup &stats() { return _stats; }
+
+    // Exposed counters (read by tests and benches).
+    sim::Scalar hits{"hits", "demand hits"};
+    sim::Scalar misses{"misses", "demand misses"};
+    sim::Scalar evictions{"evictions", "victim lines replaced"};
+    sim::Scalar writebacks{"writebacks", "dirty victims written back"};
+    sim::Scalar upgrades{"upgrades", "S->M ownership upgrades"};
+    sim::Scalar snoopInvalidations{"snoop_invalidations",
+                                   "lines killed by remote stores"};
+    sim::Scalar snoopDowngrades{"snoop_downgrades",
+                                "M/E lines demoted to S by remote loads"};
+    sim::Scalar interventions{"interventions",
+                              "dirty lines supplied cache-to-cache"};
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        MesiState state = MesiState::Invalid;
+        std::uint64_t lruStamp = 0;
+    };
+
+    CacheParams _p;
+    sim::ClockDomain _clk;
+    Tick _hitLatency;
+    std::uint32_t _numSets;
+    Cache *_below = nullptr;
+    BusTarget *_bus = nullptr;
+    Cache *_upper = nullptr;
+    std::vector<Line> _lines; // sets * assoc, row-major by set
+    std::uint64_t _lruCounter = 0;
+    sim::StatGroup _stats;
+
+    void registerStats();
+
+    Addr lineAlign(Addr a) const { return a & ~Addr(_p.lineSize - 1); }
+    std::uint32_t setIndex(Addr lineAddr) const;
+    Line *findLine(Addr lineAddr);
+    const Line *findLine(Addr lineAddr) const;
+    Line &victimLine(Addr lineAddr);
+    void touch(Line &line);
+
+    /** Fetch a missing line; returns completion time and new state. */
+    AccessResult fill(Addr lineAddr, bool exclusive, int srcCpu, Tick t);
+
+    /** Obtain write permission for a line currently Shared here. */
+    Tick upgradeLine(Addr lineAddr, int srcCpu, Tick t);
+
+    /** Evict `line` (possibly dirty); returns when the slot is usable. */
+    void evict(Line &line, Addr lineAddr, int srcCpu, Tick t);
+};
+
+} // namespace pm::mem
+
+#endif // PM_MEM_CACHE_HH

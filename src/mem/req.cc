@@ -1,0 +1,29 @@
+#include "mem/req.hh"
+
+namespace pm::mem {
+
+const char *
+mesiName(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+txName(TxType t)
+{
+    switch (t) {
+      case TxType::ReadShared: return "ReadShared";
+      case TxType::ReadExclusive: return "ReadExclusive";
+      case TxType::Upgrade: return "Upgrade";
+      case TxType::Writeback: return "Writeback";
+    }
+    return "?";
+}
+
+} // namespace pm::mem

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Timestamp-reservation resources.
+ *
+ * The node-level timing model is "immediate mode": a memory access
+ * computes its completion time synchronously by reserving time slices
+ * on the shared hardware resources it crosses (snoop/address phase,
+ * data paths, DRAM banks).
+ *
+ * Because processors are stepped in bounded *chunks* (see cpu/sched),
+ * requests from different processors can arrive at a resource slightly
+ * out of global time order — processor A may have reserved slices far
+ * ahead before processor B asks for an earlier slot. A resource is
+ * therefore a calendar of disjoint busy intervals that supports
+ * backfilling: a request is placed in the earliest idle gap at or
+ * after its arrival time, which makes the model insensitive to the
+ * scheduling chunk size.
+ *
+ * Intervals older than the scheduler's time floor (the minimum local
+ * time over all processors) can never be asked about again and are
+ * pruned, keeping the calendar small.
+ */
+
+#ifndef PM_MEM_RESOURCE_HH
+#define PM_MEM_RESOURCE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace pm::mem {
+
+/** A single-server resource: a calendar of disjoint busy intervals. */
+class Resource
+{
+  public:
+    Resource() = default;
+
+    /**
+     * Earliest start time >= `at` at which `duration` ticks fit into
+     * an idle gap. Does not reserve.
+     */
+    Tick
+    earliestFit(Tick at, Tick duration) const
+    {
+        Tick cand = at;
+        auto it = _busy.upper_bound(cand);
+        if (it != _busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > cand)
+                cand = prev->second;
+        }
+        while (it != _busy.end() && it->first < cand + duration) {
+            cand = it->second;
+            ++it;
+        }
+        return cand;
+    }
+
+    /** Mark [start, start+duration) busy. The caller must have used
+     *  earliestFit (the interval must be idle). */
+    void
+    reserve(Tick start, Tick duration)
+    {
+        if (duration == 0)
+            return;
+        _busy.emplace(start, start + duration);
+        _busyTicks += static_cast<double>(duration);
+    }
+
+    /**
+     * Reserve the earliest fitting slot at or after `at`.
+     * @return The tick at which service starts.
+     */
+    Tick
+    acquire(Tick at, Tick duration)
+    {
+        const Tick start = earliestFit(at, duration);
+        reserve(start, duration);
+        return start;
+    }
+
+    /**
+     * Reserve the same earliest start on two resources simultaneously,
+     * possibly for different durations (a point-to-point path needs
+     * both ports; a circuit-switched bus transaction holds the bus and
+     * its DRAM bank together).
+     */
+    static Tick
+    acquireTogether(Resource &a, Tick durA, Resource &b, Tick durB,
+                    Tick at)
+    {
+        Tick cand = at;
+        for (;;) {
+            const Tick sa = a.earliestFit(cand, durA);
+            const Tick sb = b.earliestFit(sa, durB);
+            if (sa == sb) {
+                a.reserve(sa, durA);
+                b.reserve(sa, durB);
+                return sa;
+            }
+            cand = sb;
+        }
+    }
+
+    /** acquireTogether with one common duration. */
+    static Tick
+    acquirePair(Resource &a, Resource &b, Tick at, Tick duration)
+    {
+        return acquireTogether(a, duration, b, duration, at);
+    }
+
+    /** Latest reserved endpoint (0 when idle); reporting/tests only. */
+    Tick
+    freeAt() const
+    {
+        return _busy.empty() ? 0 : _busy.rbegin()->second;
+    }
+
+    /** Number of live calendar intervals (tests). */
+    std::size_t intervals() const { return _busy.size(); }
+
+    /** Drop all intervals that end at or before `floor`. */
+    void
+    pruneBelow(Tick floor)
+    {
+        auto it = _busy.begin();
+        while (it != _busy.end() && it->second <= floor)
+            it = _busy.erase(it);
+    }
+
+    /** Total reserved service ticks (utilization numerator). */
+    double busyTicks() const { return _busyTicks; }
+
+    /** Drop all reservations (between independent experiment runs). */
+    void
+    reset()
+    {
+        _busy.clear();
+        _busyTicks = 0.0;
+    }
+
+  private:
+    std::map<Tick, Tick> _busy; //!< start -> end, disjoint.
+    double _busyTicks = 0.0;
+};
+
+/**
+ * A bank-interleaved resource (the node's DRAM array). The bank index
+ * is supplied by the caller; banks queue independently, modelling the
+ * paper's "interleaved and pipelined node memory".
+ */
+class BankedResource
+{
+  public:
+    BankedResource(std::string name, unsigned banks)
+        : _name(std::move(name)), _banks(banks) {}
+
+    unsigned banks() const { return static_cast<unsigned>(_banks.size()); }
+
+    /** Reserve bank `bank` as Resource::acquire does. */
+    Tick
+    acquire(unsigned bank, Tick at, Tick duration)
+    {
+        return _banks[bank % _banks.size()].acquire(at, duration);
+    }
+
+    /** Direct access to one bank's calendar. */
+    Resource &bank(unsigned b) { return _banks[b % _banks.size()]; }
+
+    Tick freeAt(unsigned bank) const
+    {
+        return _banks[bank % _banks.size()].freeAt();
+    }
+
+    void
+    pruneBelow(Tick floor)
+    {
+        for (auto &b : _banks)
+            b.pruneBelow(floor);
+    }
+
+    double
+    busyTicks() const
+    {
+        double total = 0.0;
+        for (const auto &b : _banks)
+            total += b.busyTicks();
+        return total;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : _banks)
+            b.reset();
+    }
+
+  private:
+    std::string _name;
+    std::vector<Resource> _banks;
+};
+
+} // namespace pm::mem
+
+#endif // PM_MEM_RESOURCE_HH

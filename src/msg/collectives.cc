@@ -1,0 +1,285 @@
+#include "msg/collectives.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pm::msg {
+
+Communicator::Communicator(System &sys, std::vector<unsigned> nodes)
+    : _sys(sys),
+      _nodes(std::move(nodes))
+{
+    if (_nodes.size() < 2)
+        pm_fatal("communicator: need at least two ranks");
+    for (unsigned n : _nodes)
+        _comms.push_back(std::make_unique<PmComm>(sys, n));
+}
+
+unsigned
+Communicator::rounds() const
+{
+    unsigned r = 0;
+    while ((1u << r) < size())
+        ++r;
+    return r;
+}
+
+void
+Communicator::runUntil(const bool &done)
+{
+    while (!done && _sys.queue().step()) {
+    }
+    if (!done)
+        pm_panic("collective stalled: event queue drained before "
+                 "completion");
+}
+
+namespace {
+
+/** Start time for an operation: the latest participant clock. */
+Tick
+opStart(System &sys, std::vector<std::unique_ptr<PmComm>> &comms)
+{
+    Tick t = sys.queue().now();
+    for (auto &c : comms)
+        t = std::max(t, c->proc().time());
+    return t;
+}
+
+Tick
+opEnd(System &sys, std::vector<std::unique_ptr<PmComm>> &comms,
+      Tick start)
+{
+    Tick t = sys.queue().now();
+    for (auto &c : comms)
+        t = std::max(t, c->proc().time());
+    return t > start ? t - start : 0;
+}
+
+} // namespace
+
+Tick
+Communicator::barrier()
+{
+    const unsigned p = size();
+    const unsigned R = rounds();
+    const Tick start = opStart(_sys, _comms);
+
+    struct RankState
+    {
+        unsigned round = 0; //!< Next round to start.
+        bool sendDone = true;
+        std::vector<bool> tokenSeen; //!< Arrived round tokens.
+        bool finished = false;
+    };
+    std::vector<RankState> st(p);
+    for (auto &s : st)
+        s.tokenSeen.assign(R, false);
+    unsigned finished = 0;
+    bool done = false;
+
+    // Every rank receives exactly one token per round, but arrival
+    // order can cross rounds under skew; tokens carry their round.
+    std::function<void(unsigned)> advance = [&](unsigned r) {
+        RankState &s = st[r];
+        while (!s.finished && s.sendDone &&
+               (s.round == 0 || s.tokenSeen[s.round - 1])) {
+            if (s.round == R) {
+                s.finished = true;
+                if (++finished == p)
+                    done = true;
+                break;
+            }
+            const unsigned k = s.round++;
+            const unsigned peer = (r + (1u << k)) % p;
+            s.sendDone = false;
+            _comms[r]->postSend(_nodes[peer], {k},
+                                [&, r] {
+                                    st[r].sendDone = true;
+                                    advance(r);
+                                });
+        }
+    };
+
+    for (unsigned r = 0; r < p; ++r) {
+        for (unsigned k = 0; k < R; ++k) {
+            _comms[r]->postRecv(
+                [&, r](std::vector<std::uint64_t> w, bool ok) {
+                    if (!ok || w.size() != 1 || w[0] >= R)
+                        pm_panic("barrier token corrupted");
+                    st[r].tokenSeen[w[0]] = true;
+                    advance(r);
+                });
+        }
+    }
+    for (unsigned r = 0; r < p; ++r)
+        advance(r);
+
+    runUntil(done);
+    return opEnd(_sys, _comms, start);
+}
+
+Tick
+Communicator::broadcast(unsigned root,
+                        const std::vector<std::uint64_t> &words)
+{
+    const unsigned p = size();
+    const unsigned R = rounds();
+    if (root >= p)
+        pm_fatal("broadcast: bad root %u", root);
+    const Tick start = opStart(_sys, _comms);
+
+    unsigned delivered = 1; // the root holds the data already
+    unsigned sendsLeft = 0;
+    bool done = p == 1;
+
+    // Virtual ranks relative to the root.
+    auto vrel = [&](unsigned r) { return (r + p - root) % p; };
+    auto real = [&](unsigned v) { return (v + root) % p; };
+
+    std::function<void(unsigned)> sendPhase = [&](unsigned v) {
+        // Once rank v holds the data it feeds all its subtree peers.
+        unsigned firstK = 0;
+        while (v >= (1u << firstK))
+            ++firstK;
+        for (unsigned k = firstK; k < R; ++k) {
+            const unsigned peerV = v + (1u << k);
+            if (peerV >= p)
+                continue;
+            ++sendsLeft;
+            _comms[real(v)]->postSend(_nodes[real(peerV)], words, [&] {
+                if (--sendsLeft == 0 && delivered == p)
+                    done = true;
+            });
+        }
+        if (sendsLeft == 0 && delivered == p)
+            done = true;
+    };
+
+    for (unsigned r = 0; r < p; ++r) {
+        const unsigned v = vrel(r);
+        if (v == 0)
+            continue;
+        _comms[r]->postRecv(
+            [&, v](std::vector<std::uint64_t> got, bool ok) {
+                if (!ok || got != words)
+                    pm_panic("broadcast payload corrupted");
+                ++delivered;
+                sendPhase(v);
+                if (sendsLeft == 0 && delivered == p)
+                    done = true;
+            });
+    }
+    sendPhase(0);
+
+    runUntil(done);
+    return opEnd(_sys, _comms, start);
+}
+
+Tick
+Communicator::reduceSum(
+    unsigned root,
+    const std::vector<std::vector<std::uint64_t>> &contributions,
+    std::vector<std::uint64_t> &result)
+{
+    const unsigned p = size();
+    const unsigned R = rounds();
+    if (contributions.size() != p)
+        pm_fatal("reduceSum: need one contribution per rank");
+    const std::size_t len = contributions[0].size();
+    for (const auto &c : contributions)
+        if (c.size() != len)
+            pm_fatal("reduceSum: contributions differ in length");
+    const Tick start = opStart(_sys, _comms);
+
+    struct RankState
+    {
+        std::vector<std::uint64_t> acc;
+        unsigned round = 0;
+        unsigned pendingRecvs = 0;
+        bool sent = false;
+    };
+    std::vector<RankState> st(p);
+    bool done = false;
+
+    auto vrel = [&](unsigned r) { return (r + p - root) % p; };
+    auto real = [&](unsigned v) { return (v + root) % p; };
+    for (unsigned r = 0; r < p; ++r)
+        st[vrel(r)].acc = contributions[r];
+
+    // Rank v (virtual) receives from v + 2^k for every k with
+    // v % 2^(k+1) == 0 and v + 2^k < p, then (if v != 0) sends its
+    // accumulation to v - 2^k at its first set bit.
+    std::function<void(unsigned)> advance = [&](unsigned v) {
+        RankState &s = st[v];
+        if (s.sent || s.pendingRecvs > 0)
+            return;
+        while (s.round < R) {
+            const unsigned k = s.round;
+            if (v & (1u << k)) {
+                // Our turn to send up the tree.
+                s.sent = true;
+                _comms[real(v)]->postSend(
+                    _nodes[real(v - (1u << k))], s.acc);
+                return;
+            }
+            if (v + (1u << k) < p) {
+                // Wait for the child of this round.
+                ++s.pendingRecvs;
+                ++s.round;
+                return; // resume when the recv completes
+            }
+            ++s.round;
+        }
+        if (v == 0) {
+            result = s.acc;
+            done = true;
+        }
+    };
+
+    for (unsigned r = 0; r < p; ++r) {
+        const unsigned v = vrel(r);
+        // Pre-post one receive per expected child: rank v absorbs
+        // children only for rounds below its own send round (its
+        // lowest set bit); a stale extra receive would leak into the
+        // next collective and mis-match its traffic.
+        unsigned expected = 0;
+        for (unsigned k = 0; k < R; ++k) {
+            if (v & (1u << k))
+                break; // v sends at round k and is done
+            expected += v + (1u << k) < p;
+        }
+        for (unsigned i = 0; i < expected; ++i) {
+            _comms[r]->postRecv(
+                [&, v](std::vector<std::uint64_t> got, bool ok) {
+                    RankState &s = st[v];
+                    if (!ok || got.size() != s.acc.size())
+                        pm_panic("reduce payload corrupted");
+                    for (std::size_t w = 0; w < got.size(); ++w)
+                        s.acc[w] += got[w];
+                    // The combine costs real ALU work.
+                    _comms[real(v)]->proc().intops(got.size());
+                    --s.pendingRecvs;
+                    advance(v);
+                });
+        }
+    }
+    for (unsigned v = 0; v < p; ++v)
+        advance(v);
+
+    runUntil(done);
+    return opEnd(_sys, _comms, start);
+}
+
+Tick
+Communicator::allReduceSum(
+    const std::vector<std::vector<std::uint64_t>> &contributions,
+    std::vector<std::uint64_t> &result)
+{
+    const Tick t1 = reduceSum(0, contributions, result);
+    const Tick t2 = broadcast(0, result);
+    return t1 + t2;
+}
+
+} // namespace pm::msg

@@ -1,0 +1,237 @@
+#include "msg/driver.hh"
+
+#include "net/symbol.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace pm::msg {
+
+PmComm::PmComm(System &sys, unsigned nodeId, unsigned cpu, unsigned net,
+               DriverCosts costs)
+    : _sys(sys),
+      _nodeId(nodeId),
+      _net(net),
+      _costs(costs),
+      _proc(sys.node(nodeId).proc(cpu)),
+      _ni(sys.ni(nodeId, net))
+{
+    if (_costs.maxBurstWords == 0)
+        _costs.maxBurstWords = _ni.params().fifoWords;
+}
+
+void
+PmComm::postSend(unsigned dstNode, std::vector<std::uint64_t> payload,
+                 std::function<void()> onDone, Addr srcAddr)
+{
+    SendOp op;
+    op.dst = dstNode;
+    op.payload = std::move(payload);
+    op.srcAddr = srcAddr;
+    op.onDone = std::move(onDone);
+    op.route = _sys.fabric().route(_nodeId, dstNode,
+                                   /*spread=*/_nodeId + dstNode);
+    _sends.push_back(std::move(op));
+    kick();
+}
+
+void
+PmComm::postRecv(RecvCallback onDone, Addr dstAddr)
+{
+    RecvOp op;
+    op.dstAddr = dstAddr;
+    op.msgIndex = _recvsPosted++;
+    op.onDone = std::move(onDone);
+    _recvs.push_back(std::move(op));
+    kick();
+}
+
+PmComm::~PmComm()
+{
+    if (_engineQueued)
+        _sys.queue().cancel(_engineEventId);
+}
+
+void
+PmComm::kick()
+{
+    const Tick when =
+        _proc.time() > _sys.queue().now() ? _proc.time()
+                                          : _sys.queue().now();
+    scheduleEngine(when);
+}
+
+void
+PmComm::scheduleEngine(Tick when)
+{
+    if (_engineQueued)
+        return;
+    _engineQueued = true;
+    _engineEventId = _sys.queue().schedule(when, [this] {
+        _engineQueued = false;
+        engine();
+    });
+}
+
+/**
+ * Drain the receive FIFO into the pending receive, at most one burst.
+ * @return true if any word moved (progress).
+ */
+bool
+PmComm::serviceRecv()
+{
+    if (_recvs.empty())
+        return false;
+    RecvOp &op = _recvs.front();
+    if (!op.started) {
+        op.started = true;
+        _proc.stallCycles(_costs.recvSetup);
+    }
+
+    bool progress = false;
+
+    // Status read: how many words are visible right now?
+    _proc.pioBeat();
+    unsigned avail = _ni.recvAvailable();
+
+    unsigned burst = 0;
+    while (avail > 0 && burst < _costs.maxBurstWords &&
+           !(op.haveHeader && op.words.size() >= op.expectWords)) {
+        _proc.pioBeat(); // uncached FIFO read
+        const std::uint64_t w = _ni.popRecv(_proc.time());
+        --avail;
+        ++burst;
+        progress = true;
+        if (!op.haveHeader) {
+            op.haveHeader = true;
+            op.expectWords = w;
+            if (op.expectWords > (1u << 24))
+                pm_panic("driver: implausible message header %llu",
+                         (unsigned long long)w);
+        } else {
+            // Copy into the destination buffer through the cache.
+            _proc.store(op.dstAddr + op.words.size() * 8);
+            op.words.push_back(w);
+        }
+    }
+
+    if (op.haveHeader && op.words.size() >= op.expectWords) {
+        // All payload words read; the close must have been processed
+        // before the completion is reported (CRC verdict).
+        if (_ni.messagesReceived() > op.msgIndex) {
+            const bool crcOk = _ni.lastCrcOk();
+            ++messagesReceived;
+            RecvOp done = std::move(_recvs.front());
+            _recvs.pop_front();
+            pm_trace(_proc.time(), "driver",
+                     "node%u: received %zu-word message (crc %s)",
+                     _nodeId, done.words.size(), crcOk ? "ok" : "BAD");
+            if (done.onDone)
+                done.onDone(std::move(done.words), crcOk);
+            progress = true;
+        }
+    }
+    return progress;
+}
+
+/**
+ * Feed the send FIFO from the pending send, at most one burst.
+ * @return true if any symbol moved (progress).
+ */
+bool
+PmComm::serviceSend()
+{
+    if (_sends.empty())
+        return false;
+    SendOp &op = _sends.front();
+    if (!op.started) {
+        op.started = true;
+        _proc.stallCycles(_costs.sendSetup);
+    }
+
+    // Status read: free FIFO entries.
+    _proc.pioBeat();
+    unsigned space = _ni.sendSpace();
+    if (space == 0)
+        return false;
+
+    bool progress = false;
+    unsigned burst = 0;
+    const unsigned maxBurst = _costs.maxBurstWords;
+
+    // Route commands (one per crossbar on the path).
+    while (op.routePushed < op.route.size() && space > 0 &&
+           burst < maxBurst) {
+        _proc.pioBeat();
+        _ni.pushSend(net::Symbol::makeRoute(op.route[op.routePushed]),
+                     _proc.time());
+        ++op.routePushed;
+        --space;
+        ++burst;
+        progress = true;
+    }
+
+    // Header word: payload length in words.
+    if (op.routePushed == op.route.size() && !op.headerPushed &&
+        space > 0 && burst < maxBurst) {
+        _proc.pioBeat();
+        _ni.pushSend(net::Symbol::makeData(op.payload.size()),
+                     _proc.time());
+        op.headerPushed = true;
+        --space;
+        ++burst;
+        progress = true;
+    }
+
+    // Payload words: load from memory, store to the FIFO.
+    while (op.headerPushed && op.nextWord < op.payload.size() &&
+           space > 1 && burst < maxBurst) {
+        _proc.load(op.srcAddr + op.nextWord * 8);
+        _proc.pioBeat();
+        _ni.pushSend(net::Symbol::makeData(op.payload[op.nextWord]),
+                     _proc.time());
+        ++op.nextWord;
+        --space;
+        ++burst;
+        progress = true;
+    }
+
+    // Close command (the interface inserts the CRC itself).
+    if (op.headerPushed && op.nextWord >= op.payload.size() &&
+        space > 0) {
+        _proc.pioBeat();
+        _ni.pushSend(net::Symbol::makeClose(), _proc.time());
+        ++messagesSent;
+        pm_trace(_proc.time(), "driver",
+                 "node%u: sent %zu-word message to node %u", _nodeId,
+                 op.payload.size(), op.dst);
+        SendOp done = std::move(_sends.front());
+        _sends.pop_front();
+        if (done.onDone)
+            done.onDone();
+        progress = true;
+    }
+    return progress;
+}
+
+void
+PmComm::engine()
+{
+    _proc.advanceTo(_sys.queue().now());
+
+    // Receive first: the paper's driver empties the receive FIFO
+    // between send bursts so the incoming link never backs up into the
+    // network longer than one burst.
+    bool progress = serviceRecv();
+    progress |= serviceSend();
+
+    if (_sends.empty() && _recvs.empty())
+        return;
+
+    Tick next = _proc.time();
+    if (!progress)
+        next += sim::ClockDomain(_proc.params().clockMhz)
+                    .cycles(_costs.pollGap);
+    scheduleEngine(next);
+}
+
+} // namespace pm::msg

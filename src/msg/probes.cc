@@ -1,0 +1,154 @@
+#include "msg/probes.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace pm::msg {
+
+std::vector<std::uint64_t>
+makePayload(std::uint64_t bytes, std::uint64_t seed)
+{
+    const std::uint64_t words = (bytes + 7) / 8;
+    sim::SplitMix64 rng(seed);
+    std::vector<std::uint64_t> payload(words);
+    for (auto &w : payload)
+        w = rng.next();
+    return payload;
+}
+
+double
+measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
+                       std::uint64_t bytes, unsigned iters)
+{
+    sys.resetForRun();
+    PmComm commA(sys, a);
+    PmComm commB(sys, b);
+    const auto payload = makePayload(bytes, /*seed=*/bytes + 1);
+
+    // One warmup round trip, then `iters` timed ones.
+    unsigned remaining = iters + 1;
+    Tick started = 0;
+    bool failed = false;
+
+    std::function<void()> fireA = [&] {
+        commA.postSend(b, payload);
+        commA.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            if (!crcOk || got != payload)
+                failed = true;
+            if (remaining == iters + 1)
+                started = sys.queue().now(); // warmup done
+            if (--remaining > 0)
+                fireA();
+        });
+    };
+    // B echoes everything back.
+    std::function<void()> armB = [&] {
+        commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            if (!crcOk)
+                failed = true;
+            commB.postSend(a, std::move(got));
+            armB();
+        });
+    };
+
+    armB();
+    fireA();
+    while (remaining > 0 && sys.queue().step()) {
+    }
+    if (failed || remaining != 0)
+        pm_panic("ping-pong corrupted a payload or stalled (%u left)",
+                 remaining);
+
+    const Tick total = sys.queue().now() - started;
+    return ticksToUs(total) / (2.0 * iters);
+}
+
+namespace {
+
+/** Stream `count` messages a -> b; return total transfer ticks. */
+Tick
+streamOneWay(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
+             unsigned count)
+{
+    sys.resetForRun();
+    PmComm commA(sys, a);
+    PmComm commB(sys, b);
+    const auto payload = makePayload(bytes, bytes + 17);
+
+    const Tick started = sys.queue().now();
+    unsigned received = 0;
+    bool failed = false;
+    for (unsigned i = 0; i < count; ++i) {
+        commA.postSend(b, payload);
+        commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            if (!crcOk || got != payload)
+                failed = true;
+            ++received;
+        });
+    }
+    while (received < count && sys.queue().step()) {
+    }
+    if (failed || received != count)
+        pm_panic("one-way stream lost or corrupted messages (%u/%u)",
+                 received, count);
+    return sys.queue().now() - started;
+}
+
+} // namespace
+
+double
+measureGapUs(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
+             unsigned count)
+{
+    const Tick total = streamOneWay(sys, a, b, bytes, count);
+    return ticksToUs(total) / count;
+}
+
+double
+measureUnidirectionalMBps(System &sys, unsigned a, unsigned b,
+                          std::uint64_t bytes, unsigned count)
+{
+    const Tick total = streamOneWay(sys, a, b, bytes, count);
+    const double us = ticksToUs(total);
+    return us > 0.0 ? (double(bytes) * count) / us : 0.0; // B/us == MB/s
+}
+
+double
+measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
+                         std::uint64_t bytes, unsigned count)
+{
+    sys.resetForRun();
+    PmComm commA(sys, a);
+    PmComm commB(sys, b);
+    const auto payloadA = makePayload(bytes, bytes + 29);
+    const auto payloadB = makePayload(bytes, bytes + 31);
+
+    const Tick started = sys.queue().now();
+    unsigned received = 0;
+    bool failed = false;
+    for (unsigned i = 0; i < count; ++i) {
+        commA.postSend(b, payloadA);
+        commB.postSend(a, payloadB);
+        commA.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            if (!crcOk || got != payloadB)
+                failed = true;
+            ++received;
+        });
+        commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            if (!crcOk || got != payloadA)
+                failed = true;
+            ++received;
+        });
+    }
+    while (received < 2 * count && sys.queue().step()) {
+    }
+    if (failed || received != 2 * count)
+        pm_panic("bidirectional stream lost or corrupted messages "
+                 "(%u/%u)",
+                 received, 2 * count);
+
+    const double us = ticksToUs(sys.queue().now() - started);
+    return us > 0.0 ? (2.0 * double(bytes) * count) / us : 0.0;
+}
+
+} // namespace pm::msg

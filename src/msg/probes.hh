@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Measured communication quantities on the simulated PowerMANNA
+ * machine — the counterparts of Figures 9-12. All probes run real
+ * messages (seeded payloads, CRC checked end to end) between two
+ * nodes' drivers and return wall-clock simulated time.
+ */
+
+#ifndef PM_MSG_PROBES_HH
+#define PM_MSG_PROBES_HH
+
+#include <cstdint>
+
+#include "msg/driver.hh"
+#include "msg/system.hh"
+
+namespace pm::msg {
+
+/** Make a deterministic payload of `bytes` rounded up to whole words. */
+std::vector<std::uint64_t> makePayload(std::uint64_t bytes,
+                                       std::uint64_t seed);
+
+/**
+ * Half ping-pong time between nodes `a` and `b` in microseconds
+ * (Figure 9's one-way latency).
+ * @param iters Round trips to average over (pipeline-fill excluded by
+ *        a warmup round trip).
+ */
+double measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
+                              std::uint64_t bytes, unsigned iters = 8);
+
+/**
+ * Message-sending time at the network saturation point (Figure 10's
+ * gap): node `a` streams `count` back-to-back messages to `b`.
+ * @return Microseconds per message in steady state.
+ */
+double measureGapUs(System &sys, unsigned a, unsigned b,
+                    std::uint64_t bytes, unsigned count = 32);
+
+/** Unidirectional streaming bandwidth in MB/s (Figure 11). */
+double measureUnidirectionalMBps(System &sys, unsigned a, unsigned b,
+                                 std::uint64_t bytes,
+                                 unsigned count = 32);
+
+/**
+ * Simultaneous bidirectional bandwidth in MB/s, both directions
+ * summed (Figure 12): both nodes stream `count` messages each while
+ * draining their receive FIFOs with the same processor.
+ */
+double measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
+                                std::uint64_t bytes,
+                                unsigned count = 32);
+
+} // namespace pm::msg
+
+#endif // PM_MSG_PROBES_HH

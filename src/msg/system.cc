@@ -1,0 +1,29 @@
+#include "msg/system.hh"
+
+#include "sim/logging.hh"
+
+namespace pm::msg {
+
+System::System(const SystemParams &params)
+    : _p(params)
+{
+    _fabric = std::make_unique<net::Fabric>(_p.fabric, _queue);
+    for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
+        node::NodeParams np = _p.node;
+        np.name = np.name + ".node" + std::to_string(i);
+        _nodes.push_back(std::make_unique<node::Node>(np));
+    }
+}
+
+void
+System::resetForRun()
+{
+    _fabric->resetInterfaces();
+    for (auto &n : _nodes) {
+        n->reset();
+        for (unsigned c = 0; c < n->numCpus(); ++c)
+            n->proc(c).advanceTo(_queue.now());
+    }
+}
+
+} // namespace pm::msg

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A whole PowerMANNA machine: nodes plus the duplicated communication
+ * fabric, sharing one event queue. This is the top-level object the
+ * examples and communication benches instantiate.
+ */
+
+#ifndef PM_MSG_SYSTEM_HH
+#define PM_MSG_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hh"
+#include "node/node.hh"
+#include "sim/event.hh"
+
+namespace pm::msg {
+
+/** Static configuration of a full machine. */
+struct SystemParams
+{
+    node::NodeParams node; //!< Per-node configuration (all identical).
+    net::FabricParams fabric; //!< Interconnect topology.
+};
+
+/** Nodes + fabric + event queue. */
+class System
+{
+  public:
+    explicit System(const SystemParams &params);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemParams &params() const { return _p; }
+    sim::EventQueue &queue() { return _queue; }
+    net::Fabric &fabric() { return *_fabric; }
+    unsigned numNodes() const { return _fabric->numNodes(); }
+    node::Node &node(unsigned i) { return *_nodes.at(i); }
+    ni::LinkInterface &ni(unsigned nodeId, unsigned net = 0)
+    {
+        return _fabric->ni(nodeId, net);
+    }
+
+    /**
+     * Reset node caches/timing and link interfaces between experiment
+     * runs, and bring every processor's local clock up to the event
+     * queue's current time (queue time is monotonic).
+     */
+    void resetForRun();
+
+  private:
+    SystemParams _p;
+    sim::EventQueue _queue;
+    std::unique_ptr<net::Fabric> _fabric;
+    std::vector<std::unique_ptr<node::Node>> _nodes;
+};
+
+} // namespace pm::msg
+
+#endif // PM_MSG_SYSTEM_HH

@@ -1,0 +1,161 @@
+#include "net/crossbar.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace pm::net {
+
+Crossbar::Crossbar(const CrossbarParams &params, sim::EventQueue &queue)
+    : _p(params),
+      _queue(queue),
+      _in(params.ports),
+      _out(params.ports),
+      _stats(params.name)
+{
+    if (_p.ports == 0 || _p.ports > 256)
+        pm_fatal("crossbar %s: bad port count %u", _p.name.c_str(),
+                 _p.ports);
+    for (unsigned i = 0; i < _p.ports; ++i) {
+        _in[i].fifo = std::make_unique<InputFifo>(
+            _p.name + ".in" + std::to_string(i), _p.inputFifoSymbols);
+        // A symbol arriving on an idle input must start the pump.
+        _in[i].fifo->setFillCallback([this, i] { schedulePump(i); });
+    }
+    _stats.add(&routesEstablished);
+    _stats.add(&symbolsForwarded);
+    _stats.add(&routeConflicts);
+}
+
+SymbolSink *
+Crossbar::inputPort(unsigned i)
+{
+    if (i >= _p.ports)
+        pm_fatal("crossbar %s: input %u out of range", _p.name.c_str(), i);
+    return _in[i].fifo.get();
+}
+
+void
+Crossbar::connectOutput(unsigned o, SymbolSink *downstream)
+{
+    if (o >= _p.ports)
+        pm_fatal("crossbar %s: output %u out of range", _p.name.c_str(), o);
+    if (_out[o].tx)
+        pm_fatal("crossbar %s: output %u already connected",
+                 _p.name.c_str(), o);
+    _out[o].tx = std::make_unique<LinkTx>(
+        _p.name + ".out" + std::to_string(o), _queue, _p.link, downstream);
+}
+
+bool
+Crossbar::outputConnected(unsigned o) const
+{
+    return o < _p.ports && _out[o].tx != nullptr;
+}
+
+int
+Crossbar::outputOwner(unsigned o) const
+{
+    return o < _p.ports ? _out[o].owner : -1;
+}
+
+void
+Crossbar::schedulePump(unsigned i)
+{
+    schedulePumpAt(i, _queue.now());
+}
+
+void
+Crossbar::schedulePumpAt(unsigned i, Tick when)
+{
+    Input &in = _in[i];
+    if (in.pumpPending) {
+        if (in.pumpAt <= when)
+            return; // an earlier (or equal) pump already covers this
+        _queue.cancel(in.pumpEventId);
+    }
+    in.pumpPending = true;
+    in.pumpAt = when;
+    in.pumpEventId = _queue.schedule(when, [this, i] {
+        _in[i].pumpPending = false;
+        pump(i);
+    });
+}
+
+void
+Crossbar::pump(unsigned i)
+{
+    Input &in = _in[i];
+    if (in.fifo->empty() || in.waiting)
+        return;
+
+    if (in.target < 0) {
+        // Unrouted input: the head symbol must be a route command.
+        const Symbol &head = in.fifo->front();
+        if (head.kind != SymKind::Route)
+            pm_panic("crossbar %s: input %u got %s while unrouted "
+                     "(protocol violation)",
+                     _p.name.c_str(), i,
+                     head.kind == SymKind::Data ? "data" : "close");
+        const unsigned o = head.route;
+        if (o >= _p.ports || !_out[o].tx)
+            pm_panic("crossbar %s: route to invalid output %u",
+                     _p.name.c_str(), o);
+        Output &out = _out[o];
+        if (out.owner >= 0) {
+            // Output busy: park until the current connection closes.
+            ++routeConflicts;
+            in.waiting = true;
+            out.waiters.push_back(i);
+            return;
+        }
+        // Consume the route command, claim the output, and pay the
+        // through-routing setup latency.
+        in.fifo->pop();
+        out.owner = static_cast<int>(i);
+        in.target = static_cast<int>(o);
+        ++routesEstablished;
+        pm_trace(_queue.now(), "xbar", "%s: route in%u -> out%u",
+                 _p.name.c_str(), i, o);
+        schedulePumpAt(i, _queue.now() + _p.routeLatency);
+        return;
+    }
+
+    Output &out = _out[in.target];
+    LinkTx &tx = *out.tx;
+    if (!tx.canSend(_queue.now())) {
+        if (tx.busyUntil() > _queue.now()) {
+            schedulePumpAt(i, tx.busyUntil());
+        } else {
+            // Receiver full: the stop signal is asserted; resume when
+            // the downstream FIFO drains.
+            tx.onReceiverSpace([this, i] { schedulePump(i); });
+        }
+        return;
+    }
+
+    const Symbol sym = in.fifo->pop();
+    ++symbolsForwarded;
+    const Tick wireFree = tx.send(sym, _queue.now());
+
+    if (sym.kind == SymKind::Close) {
+        // Tear down the connection and wake inputs waiting for this
+        // output, in arrival order.
+        const unsigned o = static_cast<unsigned>(in.target);
+        pm_trace(_queue.now(), "xbar", "%s: close in%u -> out%u",
+                 _p.name.c_str(), i, o);
+        in.target = -1;
+        out.owner = -1;
+        if (!out.waiters.empty()) {
+            const unsigned w = out.waiters.front();
+            out.waiters.pop_front();
+            _in[w].waiting = false;
+            schedulePump(w);
+        }
+        (void)o;
+    }
+
+    if (!in.fifo->empty())
+        schedulePumpAt(i, wireFree);
+}
+
+} // namespace pm::net

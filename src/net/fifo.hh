@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Input FIFOs with soft flow control.
+ *
+ * Every receiving element of the network — a crossbar input channel, a
+ * transceiver buffer, a link-interface receive buffer — is an
+ * InputFifo. The sender-side *stop* signal of the link protocol is
+ * modelled by the sender checking hasSpace() before transmitting and
+ * subscribing to a drain notification when the FIFO is full.
+ */
+
+#ifndef PM_NET_FIFO_HH
+#define PM_NET_FIFO_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/symbol.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace pm::net {
+
+/** Abstract destination for symbols sent over a link. */
+class SymbolSink
+{
+  public:
+    virtual ~SymbolSink() = default;
+
+    /** Can one more symbol be accepted? (The stop signal, inverted.) */
+    virtual bool hasSpace() const = 0;
+
+    /** Number of further symbols acceptable right now. */
+    virtual unsigned freeSpace() const = 0;
+
+    /** Deliver a symbol; only legal when hasSpace(). */
+    virtual void push(const Symbol &sym, Tick now) = 0;
+
+    /**
+     * Register a one-shot callback invoked the next time space becomes
+     * available. Used by senders throttled by the stop signal.
+     */
+    virtual void onSpace(std::function<void()> cb) = 0;
+};
+
+/** A bounded FIFO of symbols, counted in wire capacity. */
+class InputFifo : public SymbolSink
+{
+  public:
+    /**
+     * @param name Statistic name.
+     * @param capacitySymbols Maximum buffered symbols.
+     */
+    InputFifo(std::string name, unsigned capacitySymbols)
+        : _name(std::move(name)), _capacity(capacitySymbols)
+    {
+        if (capacitySymbols == 0)
+            pm_fatal("fifo %s: capacity must be positive", _name.c_str());
+    }
+
+    const std::string &name() const { return _name; }
+    unsigned capacity() const { return _capacity; }
+    unsigned size() const { return static_cast<unsigned>(_q.size()); }
+    bool empty() const { return _q.empty(); }
+
+    bool hasSpace() const override { return _q.size() < _capacity; }
+
+    unsigned
+    freeSpace() const override
+    {
+        return _capacity - static_cast<unsigned>(_q.size());
+    }
+
+    void
+    push(const Symbol &sym, Tick now) override
+    {
+        if (!hasSpace())
+            pm_panic("fifo %s: push into full FIFO (flow-control bug)",
+                     _name.c_str());
+        _q.push_back(sym);
+        (void)now;
+        maxOccupancy.set(std::max(maxOccupancy.value(),
+                                  static_cast<double>(_q.size())));
+        if (_fillCb)
+            _fillCb();
+    }
+
+    void
+    onSpace(std::function<void()> cb) override
+    {
+        _spaceCbs.push_back(std::move(cb));
+    }
+
+    /**
+     * Register a persistent callback invoked on every push (the
+     * element that services this FIFO uses it to wake its pump).
+     */
+    void setFillCallback(std::function<void()> cb) { _fillCb = std::move(cb); }
+
+    /** Peek the head symbol. */
+    const Symbol &
+    front() const
+    {
+        pm_assert(!_q.empty());
+        return _q.front();
+    }
+
+    /** Remove and return the head symbol; wakes throttled senders. */
+    Symbol
+    pop()
+    {
+        pm_assert(!_q.empty());
+        Symbol s = _q.front();
+        _q.pop_front();
+        notifySpace();
+        return s;
+    }
+
+    /** Drop all contents (reset between runs). */
+    void
+    clear()
+    {
+        _q.clear();
+        notifySpace();
+    }
+
+    sim::Scalar maxOccupancy{"max_occupancy", "peak buffered symbols"};
+
+  private:
+    std::string _name;
+    unsigned _capacity;
+    std::deque<Symbol> _q;
+    std::vector<std::function<void()>> _spaceCbs;
+    std::function<void()> _fillCb;
+
+    void
+    notifySpace()
+    {
+        if (_spaceCbs.empty())
+            return;
+        std::vector<std::function<void()>> cbs;
+        cbs.swap(_spaceCbs);
+        for (auto &cb : cbs)
+            cb();
+    }
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_FIFO_HH

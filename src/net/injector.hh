@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synthetic traffic injection for interconnect studies (in the spirit
+ * of gem5/Garnet's synthetic traffic): drives the link interfaces
+ * directly — no processors — so the fabric's own saturation behaviour
+ * (wormhole blocking, route conflicts, transceiver buffering) can be
+ * measured in isolation from the PIO driver. Used by the
+ * ext_fabric_saturation bench and the network property tests.
+ */
+
+#ifndef PM_NET_INJECTOR_HH
+#define PM_NET_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace pm::net {
+
+/** Static configuration of one node's injector. */
+struct InjectorParams
+{
+    double offeredMBps = 30.0; //!< Payload bytes offered per second.
+    unsigned payloadWords = 8; //!< Words per message (excl. header).
+    std::uint64_t seed = 1;
+    unsigned net = 0; //!< Which duplicated network to use.
+    bool uniformRandom = true; //!< Uniform-random destinations.
+    unsigned fixedDest = 0; //!< Used when !uniformRandom.
+};
+
+/**
+ * Drives one node's link interface with synthetic messages at a fixed
+ * offered load; the matching Drain empties every node's receive FIFO
+ * and records end-to-end latencies.
+ */
+class Injector
+{
+  public:
+    Injector(Fabric &fabric, sim::EventQueue &queue, unsigned node,
+             const InjectorParams &params);
+
+    Injector(const Injector &) = delete;
+    Injector &operator=(const Injector &) = delete;
+
+    /** Generate messages from now until tick `until`. */
+    void start(Tick until);
+
+    sim::Scalar sent{"sent", "messages injected"};
+    sim::Scalar throttled{"throttled",
+                          "inject attempts deferred by a full FIFO"};
+
+  private:
+    Fabric &_fabric;
+    sim::EventQueue &_queue;
+    unsigned _node;
+    InjectorParams _p;
+    sim::SplitMix64 _rng;
+    Tick _interval; //!< Ticks between message starts.
+    Tick _until = 0;
+
+    void tryInject();
+};
+
+/** Empties every receive FIFO in the fabric; records latencies. */
+class Drain
+{
+  public:
+    Drain(Fabric &fabric, sim::EventQueue &queue, unsigned net = 0,
+          Tick pollInterval = 200 * kTicksPerNs);
+
+    Drain(const Drain &) = delete;
+    Drain &operator=(const Drain &) = delete;
+
+    /** Messages fully received across all nodes. */
+    std::uint64_t received() const { return _received; }
+
+    /** End-to-end latency stats (inject -> last word drained). */
+    const sim::Distribution &latency() const { return _latency; }
+
+    /** Stop polling (ends the event stream so the queue can drain). */
+    void stop() { _stopped = true; }
+
+  private:
+    struct NodeState
+    {
+        std::uint64_t expect = 0; //!< Words left in current message.
+        std::uint64_t stamp = 0; //!< Inject tick of current message.
+        bool haveHeader = false;
+    };
+
+    Fabric &_fabric;
+    sim::EventQueue &_queue;
+    unsigned _net;
+    Tick _poll;
+    std::vector<NodeState> _state;
+    std::uint64_t _received = 0;
+    sim::Distribution _latency{"latency", "end-to-end ticks"};
+    bool _stopped = false;
+
+    void pump();
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_INJECTOR_HH

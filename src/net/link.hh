@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The PowerMANNA link (Section 3.2): a clock-synchronous, byte-parallel
+ * point-to-point channel at 60 MHz — 60 MB/s per direction, full
+ * duplex. One LinkTx models one direction: it serializes symbols at
+ * the wire byte rate and delivers them into the receiver's FIFO,
+ * honouring the stop-signal flow control by never overrunning the
+ * receiver's buffer (in-flight symbols are counted against its space).
+ */
+
+#ifndef PM_NET_LINK_HH
+#define PM_NET_LINK_HH
+
+#include <functional>
+#include <string>
+
+#include "net/fifo.hh"
+#include "net/symbol.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace pm::net {
+
+/** Static configuration of one link direction. */
+struct LinkParams
+{
+    double mbps = 60.0; //!< Wire rate (60 MB/s: byte-parallel @ 60 MHz).
+    Tick latency = 33 * kTicksPerNs; //!< Propagation + input register.
+
+    /** Wire time for `bytes` bytes. */
+    Tick
+    txTime(unsigned bytes) const
+    {
+        return static_cast<Tick>(bytes * (1e6 / mbps) + 0.5);
+    }
+};
+
+/** One direction of a link: serializer + wire + delivery. */
+class LinkTx
+{
+  public:
+    LinkTx(std::string name, sim::EventQueue &queue,
+           const LinkParams &params, SymbolSink *sink)
+        : _name(std::move(name)), _queue(queue), _p(params), _sink(sink)
+    {
+        if (!sink)
+            pm_fatal("link %s: null sink", _name.c_str());
+    }
+
+    const LinkParams &params() const { return _p; }
+    SymbolSink *sink() const { return _sink; }
+
+    /**
+     * The wire is free and the receiver can take one more symbol.
+     * Symbols still in flight (sent, not yet delivered) are counted
+     * against the receiver's space so the wire pipeline never overruns
+     * the stop signal.
+     */
+    bool
+    canSend(Tick now) const
+    {
+        return _busyUntil <= now && _sink->freeSpace() > _inflight;
+    }
+
+    /** Wire busy horizon (for rescheduling pumps). */
+    Tick busyUntil() const { return _busyUntil; }
+
+    /**
+     * Transmit one symbol; caller must have checked canSend().
+     * @return Time the last byte leaves the wire (sender side free).
+     */
+    Tick
+    send(const Symbol &sym, Tick now)
+    {
+        if (!canSend(now))
+            pm_panic("link %s: send while busy or receiver full",
+                     _name.c_str());
+        const Tick tx = _p.txTime(sym.wireBytes());
+        _busyUntil = now + tx;
+        bytesSent += sym.wireBytes();
+        ++_inflight;
+        const Tick arrival = now + tx + _p.latency;
+        _queue.schedule(arrival, [this, sym] {
+            --_inflight;
+            _sink->push(sym, _queue.now());
+        });
+        return _busyUntil;
+    }
+
+    /** Subscribe to receiver-space availability (stop released). */
+    void onReceiverSpace(std::function<void()> cb)
+    {
+        _sink->onSpace(std::move(cb));
+    }
+
+    sim::Scalar bytesSent{"bytes_sent", "wire bytes transmitted"};
+
+  private:
+    std::string _name;
+    sim::EventQueue &_queue;
+    LinkParams _p;
+    SymbolSink *_sink;
+    Tick _busyUntil = 0;
+    unsigned _inflight = 0;
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_LINK_HH

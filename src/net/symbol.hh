@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wire symbols of the PowerMANNA link protocol (Section 3.2).
+ *
+ * The physical link is a 9-bit-wide channel: 8 data bits plus a
+ * control bit that distinguishes command bytes (route, close) from
+ * data bytes. The simulator moves *symbols*: a route command (1 byte),
+ * a close command (1 byte), or a 64-bit data word (8 bytes — one entry
+ * of the link interface's FIFOs). Timing is charged per wire byte at
+ * the 60 MHz link clock.
+ */
+
+#ifndef PM_NET_SYMBOL_HH
+#define PM_NET_SYMBOL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace pm::net {
+
+/** Kinds of symbols travelling on a link. */
+enum class SymKind : std::uint8_t {
+    Route, //!< Crossbar route command; consumed by the crossbar.
+    Data, //!< One 64-bit payload word.
+    Close, //!< Tears down the logical connection.
+};
+
+/** One unit travelling on a link. */
+struct Symbol
+{
+    SymKind kind = SymKind::Data;
+    std::uint8_t route = 0; //!< Route: target output channel.
+    std::uint64_t data = 0; //!< Data: the 64-bit word.
+
+    /** Bytes this symbol occupies on the 9-bit channel. */
+    unsigned
+    wireBytes() const
+    {
+        return kind == SymKind::Data ? 8 : 1;
+    }
+
+    static Symbol
+    makeRoute(std::uint8_t port)
+    {
+        Symbol s;
+        s.kind = SymKind::Route;
+        s.route = port;
+        return s;
+    }
+
+    static Symbol
+    makeData(std::uint64_t word)
+    {
+        Symbol s;
+        s.kind = SymKind::Data;
+        s.data = word;
+        return s;
+    }
+
+    static Symbol
+    makeClose()
+    {
+        Symbol s;
+        s.kind = SymKind::Close;
+        return s;
+    }
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_SYMBOL_HH

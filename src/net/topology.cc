@@ -1,0 +1,148 @@
+#include "net/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace pm::net {
+
+Fabric::Fabric(const FabricParams &params, sim::EventQueue &queue)
+    : _p(params),
+      _queue(queue)
+{
+    if (_p.clusters == 0 || _p.nodesPerCluster == 0 || _p.networks == 0)
+        pm_fatal("fabric: empty topology");
+    if (_p.nodesPerCluster + _p.uplinksPerCluster > _p.xbar.ports)
+        pm_fatal("fabric: %u nodes + %u uplinks exceed the %u-port "
+                 "crossbar",
+                 _p.nodesPerCluster, _p.uplinksPerCluster, _p.xbar.ports);
+    if (_p.clusters > 1 && _p.uplinksPerCluster == 0)
+        pm_fatal("fabric: multiple clusters need uplinks");
+    if (_p.clusters > _p.xbar.ports)
+        pm_fatal("fabric: %u clusters exceed second-level crossbar ports",
+                 _p.clusters);
+
+    _nets.resize(_p.networks);
+    for (unsigned n = 0; n < _p.networks; ++n)
+        buildNetwork(n);
+}
+
+void
+Fabric::buildNetwork(unsigned n)
+{
+    Network &net = _nets[n];
+    const std::string tag = ".net" + std::to_string(n);
+
+    // Cluster crossbars and node link interfaces.
+    for (unsigned c = 0; c < _p.clusters; ++c) {
+        CrossbarParams xp = _p.xbar;
+        xp.name = "xbar.c" + std::to_string(c) + tag;
+        net.clusterXbars.push_back(
+            std::make_unique<Crossbar>(xp, _queue));
+    }
+    for (unsigned node = 0; node < numNodes(); ++node) {
+        ni::LinkIfParams np = _p.ni;
+        np.name = "ni.n" + std::to_string(node) + tag;
+        np.link = _p.nodeLink;
+        net.nis.push_back(std::make_unique<ni::LinkInterface>(np, _queue));
+
+        Crossbar &xb = *net.clusterXbars[clusterOf(node)];
+        const unsigned local = localIndex(node);
+        net.nis.back()->connectOutput(xb.inputPort(local));
+        xb.connectOutput(local, net.nis.back()->rxPort());
+    }
+
+    if (_p.clusters == 1)
+        return;
+
+    // Second-level crossbars, reached over asynchronous transceivers.
+    for (unsigned u = 0; u < _p.uplinksPerCluster; ++u) {
+        CrossbarParams xp = _p.xbar;
+        xp.name = "xbar.l2u" + std::to_string(u) + tag;
+        net.l2Xbars.push_back(std::make_unique<Crossbar>(xp, _queue));
+    }
+    for (unsigned c = 0; c < _p.clusters; ++c) {
+        Crossbar &cx = *net.clusterXbars[c];
+        for (unsigned u = 0; u < _p.uplinksPerCluster; ++u) {
+            Crossbar &l2 = *net.l2Xbars[u];
+            const unsigned upPort = _p.nodesPerCluster + u;
+
+            TransceiverParams tp = _p.xcvr;
+            tp.name = "xcvr.up.c" + std::to_string(c) + ".u" +
+                      std::to_string(u) + tag;
+            net.xcvrs.push_back(
+                std::make_unique<Transceiver>(tp, _queue));
+            Transceiver &up = *net.xcvrs.back();
+            cx.connectOutput(upPort, up.inputPort());
+            up.connectOutput(l2.inputPort(c));
+
+            tp.name = "xcvr.down.c" + std::to_string(c) + ".u" +
+                      std::to_string(u) + tag;
+            net.xcvrs.push_back(
+                std::make_unique<Transceiver>(tp, _queue));
+            Transceiver &down = *net.xcvrs.back();
+            l2.connectOutput(c, down.inputPort());
+            down.connectOutput(cx.inputPort(upPort));
+        }
+    }
+}
+
+ni::LinkInterface &
+Fabric::ni(unsigned node, unsigned net)
+{
+    if (net >= _p.networks || node >= numNodes())
+        pm_fatal("fabric: ni(%u, %u) out of range", node, net);
+    return *_nets[net].nis[node];
+}
+
+Crossbar &
+Fabric::clusterXbar(unsigned c, unsigned net)
+{
+    if (net >= _p.networks || c >= _p.clusters)
+        pm_fatal("fabric: clusterXbar(%u, %u) out of range", c, net);
+    return *_nets[net].clusterXbars[c];
+}
+
+Crossbar &
+Fabric::levelTwoXbar(unsigned u, unsigned net)
+{
+    if (net >= _p.networks || u >= _p.uplinksPerCluster ||
+        _p.clusters == 1)
+        pm_fatal("fabric: levelTwoXbar(%u, %u) out of range", u, net);
+    return *_nets[net].l2Xbars[u];
+}
+
+std::vector<std::uint8_t>
+Fabric::route(unsigned src, unsigned dst, unsigned spread) const
+{
+    if (src >= numNodes() || dst >= numNodes())
+        pm_fatal("fabric: route %u -> %u out of range", src, dst);
+    if (src == dst)
+        pm_fatal("fabric: route to self (the node would deadlock on its "
+                 "own full-duplex link)");
+    const unsigned sc = clusterOf(src);
+    const unsigned dc = clusterOf(dst);
+    if (sc == dc) {
+        // One crossbar: route straight to the destination node port.
+        return {static_cast<std::uint8_t>(localIndex(dst))};
+    }
+    // Three crossbars: uplink u, destination cluster, destination node.
+    const unsigned u = spread % _p.uplinksPerCluster;
+    return {static_cast<std::uint8_t>(_p.nodesPerCluster + u),
+            static_cast<std::uint8_t>(dc),
+            static_cast<std::uint8_t>(localIndex(dst))};
+}
+
+unsigned
+Fabric::crossbarsOnPath(unsigned src, unsigned dst) const
+{
+    return clusterOf(src) == clusterOf(dst) ? 1 : 3;
+}
+
+void
+Fabric::resetInterfaces()
+{
+    for (auto &net : _nets)
+        for (auto &ni : net.nis)
+            ni->reset();
+}
+
+} // namespace pm::net

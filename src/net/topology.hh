@@ -1,0 +1,108 @@
+/**
+ * @file
+ * PowerMANNA interconnect topologies (Section 3, Figure 5).
+ *
+ * A *cluster* is up to 8 nodes on one backplane crossbar (per network;
+ * the network is duplicated, so a Figure 5a cluster has two crossbars).
+ * Larger machines connect clusters through a second level of 16x16
+ * crossbars reached over asynchronous transceivers: each cluster
+ * crossbar dedicates `uplinksPerCluster` ports to second-level
+ * crossbars, and second-level crossbar u connects all clusters on its
+ * port c = cluster index. Any route then crosses at most three
+ * crossbars — source cluster, second level, destination cluster — the
+ * property the paper states for its 256-processor configuration.
+ */
+
+#ifndef PM_NET_TOPOLOGY_HH
+#define PM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/crossbar.hh"
+#include "net/transceiver.hh"
+#include "ni/linkinterface.hh"
+#include "sim/event.hh"
+
+namespace pm::net {
+
+/** Static configuration of a PowerMANNA fabric. */
+struct FabricParams
+{
+    unsigned clusters = 1; //!< Up to 16 (second-level crossbar ports).
+    unsigned nodesPerCluster = 8; //!< Up to 8 (Figure 5a backplane).
+    unsigned uplinksPerCluster = 4; //!< Second-level crossbars used.
+    unsigned networks = 2; //!< Duplicated network (Section 2).
+    CrossbarParams xbar;
+    TransceiverParams xcvr;
+    ni::LinkIfParams ni;
+    LinkParams nodeLink; //!< Node -> cluster crossbar direction.
+};
+
+/**
+ * The whole communication system: link interfaces, crossbars,
+ * transceivers, wired per FabricParams; plus route computation.
+ */
+class Fabric
+{
+  public:
+    Fabric(const FabricParams &params, sim::EventQueue &queue);
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    const FabricParams &params() const { return _p; }
+    unsigned numNodes() const { return _p.clusters * _p.nodesPerCluster; }
+    unsigned clusterOf(unsigned node) const
+    {
+        return node / _p.nodesPerCluster;
+    }
+    unsigned localIndex(unsigned node) const
+    {
+        return node % _p.nodesPerCluster;
+    }
+
+    /** Link interface of `node` on duplicated network `net`. */
+    ni::LinkInterface &ni(unsigned node, unsigned net = 0);
+
+    /** Cluster crossbar `c` of network `net` (tests/stats). */
+    Crossbar &clusterXbar(unsigned c, unsigned net = 0);
+
+    /** Second-level crossbar `u` of network `net` (tests/stats). */
+    Crossbar &levelTwoXbar(unsigned u, unsigned net = 0);
+
+    /**
+     * Route-command bytes for a connection src -> dst (one byte per
+     * crossbar crossed). `spread` selects among the equivalent
+     * second-level crossbars for inter-cluster routes.
+     */
+    std::vector<std::uint8_t> route(unsigned src, unsigned dst,
+                                    unsigned spread = 0) const;
+
+    /** Number of crossbars a src -> dst connection crosses. */
+    unsigned crossbarsOnPath(unsigned src, unsigned dst) const;
+
+    /** Reset all link interfaces (between experiment runs). */
+    void resetInterfaces();
+
+  private:
+    struct Network
+    {
+        std::vector<std::unique_ptr<Crossbar>> clusterXbars;
+        std::vector<std::unique_ptr<Crossbar>> l2Xbars;
+        std::vector<std::unique_ptr<Transceiver>> xcvrs;
+        std::vector<std::unique_ptr<ni::LinkInterface>> nis; // per node
+    };
+
+    FabricParams _p;
+    sim::EventQueue &_queue;
+    std::vector<Network> _nets;
+
+    void buildNetwork(unsigned n);
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_TOPOLOGY_HH

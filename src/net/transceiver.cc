@@ -1,0 +1,84 @@
+#include "net/transceiver.hh"
+
+#include "sim/logging.hh"
+
+namespace pm::net {
+
+namespace {
+
+/** 2 KB of buffer expressed in symbols (worst case: 8-byte words). */
+unsigned
+symbolCapacity(unsigned fifoBytes)
+{
+    return fifoBytes / 8;
+}
+
+} // namespace
+
+Transceiver::Transceiver(const TransceiverParams &params,
+                         sim::EventQueue &queue)
+    : _p(params),
+      _queue(queue),
+      _in(params.name + ".fifo", symbolCapacity(params.fifoBytes))
+{
+    // The cable latency rides on the output link.
+    _p.link.latency += params.cableLatency;
+    _in.setFillCallback([this] { schedulePump(); });
+}
+
+void
+Transceiver::connectOutput(SymbolSink *downstream)
+{
+    if (_tx)
+        pm_fatal("transceiver %s: output already connected",
+                 _p.name.c_str());
+    _tx = std::make_unique<LinkTx>(_p.name + ".out", _queue, _p.link,
+                                   downstream);
+}
+
+void
+Transceiver::schedulePump()
+{
+    schedulePumpAt(_queue.now());
+}
+
+void
+Transceiver::schedulePumpAt(Tick when)
+{
+    if (_pumpPending) {
+        if (_pumpAt <= when)
+            return;
+        _queue.cancel(_pumpEventId);
+    }
+    _pumpPending = true;
+    _pumpAt = when;
+    _pumpEventId = _queue.schedule(when, [this] {
+        _pumpPending = false;
+        pump();
+    });
+}
+
+void
+Transceiver::pump()
+{
+    if (!_tx)
+        pm_panic("transceiver %s: symbols arrived before the output was "
+                 "connected",
+                 _p.name.c_str());
+    if (_in.empty())
+        return;
+    if (!_tx->canSend(_queue.now())) {
+        if (_tx->busyUntil() > _queue.now()) {
+            schedulePumpAt(_tx->busyUntil());
+        } else {
+            _tx->onReceiverSpace([this] { schedulePump(); });
+        }
+        return;
+    }
+    const Symbol sym = _in.pop();
+    const Tick wireFree = _tx->send(sym, _queue.now());
+    if (!_in.empty())
+        schedulePumpAt(wireFree);
+}
+
+} // namespace pm::net

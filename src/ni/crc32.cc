@@ -1,0 +1,32 @@
+#include "ni/crc32.hh"
+
+#include <array>
+
+namespace pm::ni {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+Crc32::updateByte(std::uint32_t crc, std::uint8_t byte)
+{
+    return crcTable[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+}
+
+} // namespace pm::ni

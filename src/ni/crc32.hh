@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial), as generated and checked by the
+ * PowerMANNA link-interface ASIC to make communication "not only
+ * efficient but also reliable" (Section 3.3).
+ */
+
+#ifndef PM_NI_CRC32_HH
+#define PM_NI_CRC32_HH
+
+#include <cstdint>
+
+namespace pm::ni {
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Update `crc` with one byte; start from 0xffffffff. */
+    static std::uint32_t updateByte(std::uint32_t crc, std::uint8_t byte);
+
+    /** Reset the running checksum. */
+    void reset() { _crc = 0xffffffffu; }
+
+    /** Fold one 64-bit word (little-endian byte order) into the sum. */
+    void
+    update(std::uint64_t word)
+    {
+        for (int i = 0; i < 8; ++i)
+            _crc = updateByte(_crc, static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+
+    /** Final checksum value. */
+    std::uint32_t value() const { return _crc ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t _crc = 0xffffffffu;
+};
+
+} // namespace pm::ni
+
+#endif // PM_NI_CRC32_HH

@@ -1,0 +1,254 @@
+#include "ni/linkinterface.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace pm::ni {
+
+LinkInterface::LinkInterface(const LinkIfParams &params,
+                             sim::EventQueue &queue)
+    : _p(params),
+      _queue(queue),
+      _stats(params.name)
+{
+    if (_p.fifoWords == 0)
+        pm_fatal("link interface %s: FIFO depth must be positive",
+                 _p.name.c_str());
+    _stats.add(&wordsSent);
+    _stats.add(&wordsReceived);
+    _stats.add(&crcErrors);
+}
+
+// ---- CPU side. --------------------------------------------------------
+
+unsigned
+LinkInterface::sendSpace() const
+{
+    const std::size_t used = _sendFifo.size();
+    return used >= _p.fifoWords ? 0
+                                : static_cast<unsigned>(_p.fifoWords - used);
+}
+
+void
+LinkInterface::pushSend(const net::Symbol &sym, Tick now)
+{
+    if (sendSpace() == 0)
+        pm_panic("link interface %s: software overran the send FIFO",
+                 _p.name.c_str());
+    _sendFifo.push_back(SendEntry{sym, now});
+    schedulePump();
+}
+
+unsigned
+LinkInterface::recvAvailable() const
+{
+    return static_cast<unsigned>(_recvFifo.size());
+}
+
+std::uint64_t
+LinkInterface::popRecv(Tick)
+{
+    if (_recvFifo.empty())
+        pm_panic("link interface %s: software read an empty receive FIFO",
+                 _p.name.c_str());
+    const std::uint64_t w = _recvFifo.front();
+    _recvFifo.pop_front();
+    notifyRxSpace();
+    return w;
+}
+
+void
+LinkInterface::reset()
+{
+    _sendFifo.clear();
+    _recvFifo.clear();
+    _staged.reset();
+    _crcTx.reset();
+    _crcRx.reset();
+    _crcPendingClose = false;
+    _txAnyData = false;
+    _messages = 0;
+    _lastCrcOk = true;
+}
+
+// ---- Send pump. --------------------------------------------------------
+
+void
+LinkInterface::connectOutput(net::SymbolSink *downstream)
+{
+    if (_tx)
+        pm_fatal("link interface %s: output already connected",
+                 _p.name.c_str());
+    _tx = std::make_unique<net::LinkTx>(_p.name + ".tx", _queue, _p.link,
+                                        downstream);
+}
+
+void
+LinkInterface::schedulePump()
+{
+    schedulePumpAt(_queue.now());
+}
+
+void
+LinkInterface::schedulePumpAt(Tick when)
+{
+    // At most one pump event is ever outstanding; an earlier request
+    // supersedes a later one.
+    if (_pumpPending) {
+        if (_pumpAt <= when)
+            return;
+        _queue.cancel(_pumpEventId);
+    }
+    _pumpPending = true;
+    _pumpAt = when;
+    _pumpEventId = _queue.schedule(when, [this] {
+        _pumpPending = false;
+        pump();
+    });
+}
+
+void
+LinkInterface::pump()
+{
+    if (!_tx)
+        pm_panic("link interface %s: sending with no link connected",
+                 _p.name.c_str());
+    const Tick now = _queue.now();
+
+    if (!_crcPendingClose && _sendFifo.empty())
+        return;
+    if (!_tx->canSend(now)) {
+        if (_tx->busyUntil() > now) {
+            schedulePumpAt(_tx->busyUntil());
+        } else {
+            _tx->onReceiverSpace([this] { schedulePump(); });
+        }
+        return;
+    }
+
+    if (_crcPendingClose) {
+        // The CRC word has gone out; the close command follows.
+        _crcPendingClose = false;
+        const Tick wireFree = _tx->send(net::Symbol::makeClose(), now);
+        if (!_sendFifo.empty())
+            schedulePumpAt(wireFree);
+        return;
+    }
+
+    const SendEntry &head = _sendFifo.front();
+    if (head.readyAt > now) {
+        // The CPU has not logically written this word yet.
+        schedulePumpAt(head.readyAt);
+        return;
+    }
+
+    const net::Symbol sym = head.sym;
+    _sendFifo.pop_front();
+
+    Tick wireFree;
+    switch (sym.kind) {
+      case net::SymKind::Route:
+        wireFree = _tx->send(sym, now);
+        break;
+      case net::SymKind::Data:
+        _crcTx.update(sym.data);
+        _txAnyData = true;
+        ++wordsSent;
+        wireFree = _tx->send(sym, now);
+        break;
+      case net::SymKind::Close:
+        if (_txAnyData) {
+            // Hardware inserts the CRC word ahead of the close.
+            wireFree = _tx->send(
+                net::Symbol::makeData(_crcTx.value()), now);
+            _crcPendingClose = true;
+            _crcTx.reset();
+            _txAnyData = false;
+        } else {
+            wireFree = _tx->send(sym, now);
+        }
+        break;
+      default:
+        pm_panic("link interface %s: unknown symbol kind",
+                 _p.name.c_str());
+    }
+
+    if (_crcPendingClose || !_sendFifo.empty())
+        schedulePumpAt(wireFree);
+}
+
+// ---- Receive port. ------------------------------------------------------
+
+unsigned
+LinkInterface::RxPort::freeSpace() const
+{
+    const unsigned used = static_cast<unsigned>(_ni._recvFifo.size()) +
+                          (_ni._staged.has_value() ? 1u : 0u);
+    return used >= _ni._p.fifoWords
+               ? 0u
+               : _ni._p.fifoWords - used;
+}
+
+void
+LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
+{
+    LinkInterface &ni = _ni;
+    switch (sym.kind) {
+      case net::SymKind::Route:
+        pm_panic("link interface %s: route command reached the node "
+                 "(routing bug)",
+                 ni._p.name.c_str());
+      case net::SymKind::Data:
+        if (!hasSpace())
+            pm_panic("link interface %s: receive FIFO overrun "
+                     "(flow-control bug)",
+                     ni._p.name.c_str());
+        if (ni._staged) {
+            // The previously staged word is confirmed payload.
+            ni._crcRx.update(*ni._staged);
+            ni._recvFifo.push_back(*ni._staged);
+            ++ni.wordsReceived;
+        }
+        ni._staged = sym.data;
+        break;
+      case net::SymKind::Close:
+        if (ni._staged) {
+            // The staged word is the hardware CRC: strip and verify.
+            const bool ok =
+                static_cast<std::uint32_t>(*ni._staged) ==
+                ni._crcRx.value();
+            ni._lastCrcOk = ok;
+            if (!ok)
+                ++ni.crcErrors;
+            ni._staged.reset();
+        } else {
+            ni._lastCrcOk = true; // dataless message carries no CRC
+        }
+        ni._crcRx.reset();
+        ++ni._messages;
+        pm_trace(ni._queue.now(), "ni", "%s: message %llu complete, crc %s",
+                 ni._p.name.c_str(), (unsigned long long)ni._messages,
+                 ni._lastCrcOk ? "ok" : "BAD");
+        ni.notifyRxSpace();
+        break;
+    }
+}
+
+void
+LinkInterface::RxPort::onSpace(std::function<void()> cb)
+{
+    _ni._rxSpaceCbs.push_back(std::move(cb));
+}
+
+void
+LinkInterface::notifyRxSpace()
+{
+    if (_rxSpaceCbs.empty())
+        return;
+    std::vector<std::function<void()>> cbs;
+    cbs.swap(_rxSpaceCbs);
+    for (auto &cb : cbs)
+        cb();
+}
+
+} // namespace pm::ni

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The PowerMANNA network interface (Section 3.3).
+ *
+ * Deliberately *not* a NIC: a simple ASIC between the node's bus
+ * switch and one communication link. Per direction there is a FIFO of
+ * 32 64-bit words; FIFOs and control registers are memory-mapped, so
+ * the node CPUs drive the whole protocol with uncached loads/stores
+ * (PIO) — the CPU cost of those accesses is charged by cpu::Proc, not
+ * here. The ASIC generates a CRC-32 over each outgoing message
+ * (inserted on the wire before the close command) and checks it on the
+ * receive side, stripping it from the data handed to software.
+ */
+
+#ifndef PM_NI_LINKINTERFACE_HH
+#define PM_NI_LINKINTERFACE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fifo.hh"
+#include "net/link.hh"
+#include "net/symbol.hh"
+#include "ni/crc32.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+
+namespace pm::ni {
+
+/** Static configuration of one link interface. */
+struct LinkIfParams
+{
+    std::string name = "ni";
+    unsigned fifoWords = 32; //!< Send and receive FIFO depth (words).
+    net::LinkParams link; //!< Outgoing link timing.
+};
+
+/** One of the two link interfaces on a PowerMANNA node. */
+class LinkInterface
+{
+  public:
+    LinkInterface(const LinkIfParams &params, sim::EventQueue &queue);
+
+    LinkInterface(const LinkInterface &) = delete;
+    LinkInterface &operator=(const LinkInterface &) = delete;
+
+    const LinkIfParams &params() const { return _p; }
+
+    // ---- CPU (driver) side. The caller charges PIO timing. ----------
+
+    /** Free send-FIFO entries (the send status register). */
+    unsigned sendSpace() const;
+
+    /**
+     * Write one symbol into the send FIFO at CPU-local time `now`.
+     * Must not be called when sendSpace() == 0.
+     */
+    void pushSend(const net::Symbol &sym, Tick now);
+
+    /** Payload words readable from the receive FIFO (status register). */
+    unsigned recvAvailable() const;
+
+    /** Read one received word; recvAvailable() must be nonzero. */
+    std::uint64_t popRecv(Tick now);
+
+    /** Completed (close-terminated) messages seen so far. */
+    std::uint64_t messagesReceived() const { return _messages; }
+
+    /** CRC verdict of the most recently completed message. */
+    bool lastCrcOk() const { return _lastCrcOk; }
+
+    /** Drop all buffered state (between experiment runs). */
+    void reset();
+
+    // ---- Network side. -----------------------------------------------
+
+    /** Sink the incoming link delivers into. */
+    net::SymbolSink *rxPort() { return &_rx; }
+
+    /** Connect the outgoing link to the next element's input sink. */
+    void connectOutput(net::SymbolSink *downstream);
+
+    sim::StatGroup &stats() { return _stats; }
+    sim::Scalar wordsSent{"words_sent", "payload words transmitted"};
+    sim::Scalar wordsReceived{"words_received", "payload words received"};
+    sim::Scalar crcErrors{"crc_errors", "messages failing the CRC check"};
+
+  private:
+    /** Receive port: stages one word so the CRC can be stripped. */
+    class RxPort : public net::SymbolSink
+    {
+      public:
+        explicit RxPort(LinkInterface &ni) : _ni(ni) {}
+        bool hasSpace() const override { return freeSpace() > 0; }
+        unsigned freeSpace() const override;
+        void push(const net::Symbol &sym, Tick now) override;
+        void onSpace(std::function<void()> cb) override;
+
+      private:
+        LinkInterface &_ni;
+    };
+    friend class RxPort;
+
+    struct SendEntry
+    {
+        net::Symbol sym;
+        Tick readyAt; //!< CPU-local write time; never send earlier.
+    };
+
+    LinkIfParams _p;
+    sim::EventQueue &_queue;
+    sim::StatGroup _stats;
+
+    // Send side.
+    std::deque<SendEntry> _sendFifo;
+    std::unique_ptr<net::LinkTx> _tx;
+    bool _pumpPending = false;
+    Tick _pumpAt = 0;
+    std::uint64_t _pumpEventId = 0;
+    bool _crcPendingClose = false; //!< CRC word sent; close follows.
+    bool _txAnyData = false;
+    Crc32 _crcTx;
+
+    // Receive side.
+    RxPort _rx{*this};
+    std::deque<std::uint64_t> _recvFifo;
+    std::optional<std::uint64_t> _staged; //!< Last word; may be the CRC.
+    Crc32 _crcRx;
+    std::uint64_t _messages = 0;
+    bool _lastCrcOk = true;
+    std::vector<std::function<void()>> _rxSpaceCbs;
+
+    void schedulePump();
+    void schedulePumpAt(Tick when);
+    void pump();
+    void notifyRxSpace();
+};
+
+} // namespace pm::ni
+
+#endif // PM_NI_LINKINTERFACE_HH

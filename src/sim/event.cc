@@ -1,0 +1,84 @@
+#include "sim/event.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pm::sim {
+
+std::uint64_t
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < _now)
+        pm_panic("scheduling event in the past (when=%llu now=%llu)",
+                 (unsigned long long)when, (unsigned long long)_now);
+    const std::uint64_t id = _nextSeq++;
+    _heap.push(Entry{when, id, std::move(fn)});
+    return id;
+}
+
+bool
+EventQueue::cancel(std::uint64_t id)
+{
+    if (id >= _nextSeq)
+        return false;
+    if (isCancelled(id))
+        return false;
+    // We cannot remove from the middle of a binary heap cheaply; record
+    // the id and skip the entry when it surfaces.
+    _cancelledIds.push_back(id);
+    ++_cancelled;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t seq) const
+{
+    return std::find(_cancelledIds.begin(), _cancelledIds.end(), seq) !=
+           _cancelledIds.end();
+}
+
+void
+EventQueue::forgetCancelled(std::uint64_t seq)
+{
+    auto it = std::find(_cancelledIds.begin(), _cancelledIds.end(), seq);
+    if (it != _cancelledIds.end()) {
+        _cancelledIds.erase(it);
+        --_cancelled;
+    }
+}
+
+bool
+EventQueue::step(Tick limit)
+{
+    while (!_heap.empty()) {
+        const Entry &top = _heap.top();
+        if (top.when > limit)
+            return false;
+        if (isCancelled(top.seq)) {
+            forgetCancelled(top.seq);
+            _heap.pop();
+            continue;
+        }
+        // Move the callback out before popping: the callback may
+        // schedule new events, which mutates the heap.
+        Entry entry{top.when, top.seq, std::move(const_cast<Entry &>(top).fn)};
+        _heap.pop();
+        _now = entry.when;
+        ++_executed;
+        entry.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (step(limit))
+        ++n;
+    return n;
+}
+
+} // namespace pm::sim

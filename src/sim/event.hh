@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The discrete-event kernel.
+ *
+ * Every timed component of the PowerMANNA simulator — processors, link
+ * interfaces, crossbars, transceivers — schedules callbacks on a single
+ * EventQueue. Events at the same tick are delivered in FIFO order of
+ * scheduling (a deterministic tie-break that makes whole-system runs
+ * reproducible bit-for-bit).
+ */
+
+#ifndef PM_SIM_EVENT_HH
+#define PM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pm::sim {
+
+/** Callback type for scheduled events. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of callbacks; the heart of the simulator.
+ *
+ * Components capture `this` in lambdas and schedule them; the queue owns
+ * nothing beyond the callbacks. The queue is not thread-safe — the whole
+ * simulation is single-threaded and deterministic by construction.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute time; must be >= now().
+     * @param fn Callback to run.
+     * @return Monotonic event id (usable with cancel()).
+     */
+    std::uint64_t schedule(Tick when, EventFn fn);
+
+    /** Schedule a callback `delta` ticks in the future. */
+    std::uint64_t scheduleIn(Tick delta, EventFn fn)
+    {
+        return schedule(_now + delta, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(std::uint64_t id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return _heap.size() - _cancelled; }
+
+    /** True when no events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run until the queue drains or `limit` ticks is reached.
+     * @param limit Stop before executing any event scheduled after this
+     *        time; kTickNever means run to exhaustion.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = kTickNever);
+
+    /**
+     * Execute exactly one event if one is pending within `limit`.
+     * @return true if an event was executed.
+     */
+    bool step(Tick limit = kTickNever);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // FIFO tie-break and cancellation handle
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+    std::size_t _cancelled = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::vector<std::uint64_t> _cancelledIds;
+
+    bool isCancelled(std::uint64_t seq) const;
+    void forgetCancelled(std::uint64_t seq);
+};
+
+} // namespace pm::sim
+
+#endif // PM_SIM_EVENT_HH

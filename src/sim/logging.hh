@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ *
+ *  - panic():  an internal simulator bug — a condition that should never
+ *              happen regardless of user input. Aborts.
+ *  - fatal():  a user error (bad configuration, invalid argument) that
+ *              the simulation cannot continue past. Exits with code 1.
+ *  - warn():   something may be modelled imperfectly; keep running.
+ *  - inform(): status output with no connotation of a problem.
+ */
+
+#ifndef PM_SIM_LOGGING_HH
+#define PM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pm {
+
+/** Print a formatted bug message with location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted user-error message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+#define pm_panic(...) ::pm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define pm_fatal(...) ::pm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define pm_warn(...) ::pm::warnImpl(__VA_ARGS__)
+#define pm_inform(...) ::pm::informImpl(__VA_ARGS__)
+
+/** panic() unless the given invariant holds. */
+#define pm_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::pm::panicImpl(__FILE__, __LINE__, "assertion failed: %s",    \
+                            #cond);                                         \
+    } while (0)
+
+} // namespace pm
+
+#endif // PM_SIM_LOGGING_HH

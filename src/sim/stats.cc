@@ -1,0 +1,44 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace pm::sim {
+
+void
+StatGroup::reset()
+{
+    for (Scalar *s : _scalars)
+        s->reset();
+    for (Distribution *d : _dists)
+        d->reset();
+    for (StatGroup *g : _children)
+        g->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const Scalar *s : _scalars) {
+        os << full << "." << s->name() << " " << s->value();
+        if (!s->desc().empty())
+            os << " # " << s->desc();
+        os << "\n";
+    }
+    for (const Distribution *d : _dists) {
+        os << full << "." << d->name() << "::count " << d->count() << "\n";
+        os << full << "." << d->name() << "::mean " << d->mean() << "\n";
+        os << full << "." << d->name() << "::min " << d->min() << "\n";
+        os << full << "." << d->name() << "::max " << d->max() << "\n";
+        os << full << "." << d->name() << "::stdev "
+           << std::sqrt(d->variance());
+        if (!d->desc().empty())
+            os << " # " << d->desc();
+        os << "\n";
+    }
+    for (const StatGroup *g : _children)
+        g->dump(os, full);
+}
+
+} // namespace pm::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats.
+ *
+ * Components own Scalar / Distribution objects and register them with a
+ * StatGroup; groups nest, and the root group can dump everything in a
+ * stable, grep-friendly text format. Benches use this to report the
+ * per-component counters behind each figure.
+ */
+
+#ifndef PM_SIM_STATS_HH
+#define PM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pm::sim {
+
+/** A named monotonically adjustable scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = "")
+        : _name(std::move(name)), _desc(std::move(desc)) {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    double value() const { return _value; }
+    void set(double v) { _value = v; }
+    void inc(double by = 1.0) { _value += by; }
+    void reset() { _value = 0.0; }
+
+    Scalar &operator++() { inc(); return *this; }
+    Scalar &operator+=(double by) { inc(by); return *this; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/** Running distribution: count, sum, min, max, mean, and stddev. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::string name, std::string desc = "")
+        : _name(std::move(name)), _desc(std::move(desc)) {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _sumSq += v * v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (_count == 0)
+            return 0.0;
+        const double m = mean();
+        return _sumSq / _count - m * m;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _sumSq = 0.0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named collection of statistics, possibly nested.
+ *
+ * Groups hold non-owning pointers: the stats live inside the components
+ * that update them, and the components must outlive the group (always
+ * true in this codebase, where the System owns both).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    void add(Scalar *s) { _scalars.push_back(s); }
+    void add(Distribution *d) { _dists.push_back(d); }
+    void add(StatGroup *g) { _children.push_back(g); }
+
+    /** Reset every registered statistic, recursively. */
+    void reset();
+
+    /**
+     * Dump in "group.stat value # desc" lines.
+     * @param os Output stream.
+     * @param prefix Prepended to every name (used for nesting).
+     */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string _name;
+    std::vector<Scalar *> _scalars;
+    std::vector<Distribution *> _dists;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace pm::sim
+
+#endif // PM_SIM_STATS_HH

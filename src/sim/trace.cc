@@ -1,0 +1,77 @@
+#include "sim/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace pm::sim::trace {
+
+namespace {
+
+struct Config
+{
+    bool any = false;
+    bool all = false;
+    std::set<std::string> flags;
+
+    Config()
+    {
+        const char *env = std::getenv("PM_TRACE");
+        if (!env || !*env)
+            return;
+        any = true;
+        std::string s(env);
+        std::size_t pos = 0;
+        while (pos < s.size()) {
+            std::size_t comma = s.find(',', pos);
+            if (comma == std::string::npos)
+                comma = s.size();
+            const std::string flag = s.substr(pos, comma - pos);
+            if (flag == "all")
+                all = true;
+            else if (!flag.empty())
+                flags.insert(flag);
+            pos = comma + 1;
+        }
+    }
+};
+
+const Config &
+config()
+{
+    static const Config cfg;
+    return cfg;
+}
+
+} // namespace
+
+bool
+anyEnabled()
+{
+    return config().any;
+}
+
+bool
+enabled(const char *flag)
+{
+    const Config &cfg = config();
+    if (!cfg.any)
+        return false;
+    return cfg.all || cfg.flags.count(flag) > 0;
+}
+
+void
+print(Tick now, const char *flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%12.3fus [%s] ", ticksToUs(now), flag);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace pm::sim::trace

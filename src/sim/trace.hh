@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Runtime-selectable debug tracing, in the spirit of gem5's trace
+ * flags: set PM_TRACE to a comma-separated list of flags (or "all")
+ * and the tagged components narrate to stderr with timestamps.
+ *
+ *   PM_TRACE=xbar,ni ./build/examples/quickstart
+ *
+ * Flags in use: "xbar" (route setup/teardown), "ni" (message
+ * completion, CRC), "driver" (send/recv ops).
+ * Tracing is off unless the environment variable is set; the disabled
+ * path is one inlined boolean test.
+ */
+
+#ifndef PM_SIM_TRACE_HH
+#define PM_SIM_TRACE_HH
+
+#include "sim/types.hh"
+
+namespace pm::sim::trace {
+
+/** True when any tracing is enabled (fast gate). */
+bool anyEnabled();
+
+/** True when `flag` (or "all") appears in PM_TRACE. */
+bool enabled(const char *flag);
+
+/** Emit one trace line: "<us>us [flag] <message>". */
+void print(Tick now, const char *flag, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace pm::sim::trace
+
+/** Trace macro: evaluates arguments only when the flag is live. */
+#define pm_trace(now, flag, ...)                                       \
+    do {                                                               \
+        if (::pm::sim::trace::anyEnabled() &&                          \
+            ::pm::sim::trace::enabled(flag))                           \
+            ::pm::sim::trace::print(now, flag, __VA_ARGS__);           \
+    } while (0)
+
+#endif // PM_SIM_TRACE_HH

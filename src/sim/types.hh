@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every PowerMANNA module.
+ *
+ * The global time base is the Tick: one simulated picosecond. A
+ * picosecond base lets the 180 MHz processor clock domain (5555.5 ps
+ * period, rounded to integer ticks per cycle) and the 60 MHz link clock
+ * domain (16666.6 ps period) coexist on one integer timeline without
+ * accumulating drift large enough to matter at the microsecond scales
+ * the paper reports.
+ */
+
+#ifndef PM_SIM_TYPES_HH
+#define PM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace pm {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles within some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A physical memory address (the MPC620 has a 40-bit address bus). */
+using Addr = std::uint64_t;
+
+/** Ticks per common wall-clock units. */
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * 1000;
+constexpr Tick kTicksPerMs = 1000ull * 1000 * 1000;
+constexpr Tick kTicksPerSec = 1000ull * 1000 * 1000 * 1000;
+
+/** The far future; used as a sentinel for "never". */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Convert ticks to floating-point microseconds (reporting only). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to floating-point nanoseconds (reporting only). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to floating-point seconds (reporting only). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+} // namespace pm
+
+#endif // PM_SIM_TYPES_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The NASPAR-style MatMult benchmark of Section 5.1 (Figures 7 and 8).
+ *
+ * Two versions, exactly as in the paper:
+ *  (a) naive: C = A * B with both matrices in row order, so the inner
+ *      product walks B down a column (stride = one row);
+ *  (b) transposed: Bt = transpose(B) first (the transposition is part
+ *      of the timed run), then the inner product walks two rows
+ *      sequentially, letting long cache lines prefetch perfectly.
+ *
+ * Matrices use "odd strides": the row stride in 8-byte words is forced
+ * odd so that column walks spread over all cache sets instead of
+ * thrashing one set (the paper's measurements are the odd-stride ones).
+ *
+ * Row sampling: simulating all n^3 inner iterations for every size and
+ * machine is wasteful because MFLOPS converges after a few rows of C
+ * (the cache steady state is reached once B / Bt has been walked once).
+ * `rowsToSimulate` limits the simulated rows of C; the reported MFLOPS
+ * rate is unaffected because it is computed from the *simulated* work
+ * and the *simulated* time. Set it to 0 to simulate every row.
+ */
+
+#ifndef PM_WORKLOADS_MATMULT_HH
+#define PM_WORKLOADS_MATMULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/proc.hh"
+#include "cpu/workload.hh"
+#include "sim/types.hh"
+
+namespace pm::workloads {
+
+/** Configuration of one MatMult run on one processor. */
+struct MatMultParams
+{
+    unsigned n = 128; //!< Matrix dimension.
+    bool transposed = false; //!< Version (b) of the paper.
+    unsigned rowsToSimulate = 0; //!< 0 = all n rows of C.
+    /**
+     * Row-block assignment for SMP runs: this processor computes rows
+     * r with r % cpuCount == cpuIndex.
+     */
+    unsigned cpuIndex = 0;
+    unsigned cpuCount = 1;
+    // The bases are staggered modulo every modelled L2 size so the
+    // three matrices do not all land on the same direct-mapped L2 sets
+    // (page colouring gives real allocations the same property).
+    Addr baseA = 0x1000'0000;
+    Addr baseB = 0x2001'5000;
+    Addr baseBt = 0x3002'a000;
+    Addr baseC = 0x4003'f000;
+};
+
+/**
+ * One processor's share of a matrix multiplication. step() executes
+ * one (i, j) inner product (or one transposition row), bounding the
+ * scheduler chunk to ~n operations.
+ */
+class MatMult : public cpu::Workload
+{
+  public:
+    explicit MatMult(const MatMultParams &params);
+
+    bool step(cpu::Proc &proc) override;
+    std::string name() const override;
+
+    /** Floating-point operations this processor has simulated. */
+    std::uint64_t flopsDone() const { return _flopsDone; }
+
+    /** Row stride in bytes (odd number of 8-byte words). */
+    std::uint64_t rowBytes() const { return _rowBytes; }
+
+    /** Total rows of C this processor will compute. */
+    unsigned myRows() const { return _myRows; }
+
+  private:
+    MatMultParams _p;
+    std::uint64_t _rowBytes;
+    unsigned _rowLimit; //!< Rows of C to simulate (after sampling).
+    unsigned _myRows;
+    // Progress state.
+    bool _transposing;
+    unsigned _ti = 0; //!< Transposition progress (row of Bt).
+    unsigned _i = 0; //!< Current row of C (counted in *my* rows).
+    unsigned _j = 0; //!< Current column of C.
+    std::uint64_t _flopsDone = 0;
+
+    unsigned globalRow(unsigned myRow) const
+    {
+        return myRow * _p.cpuCount + _p.cpuIndex;
+    }
+};
+
+} // namespace pm::workloads
+
+#endif // PM_WORKLOADS_MATMULT_HH

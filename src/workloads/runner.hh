@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Convenience runners tying node configurations to workloads; used by
+ * the benches, the examples, and the integration tests so they all
+ * measure the same way.
+ */
+
+#ifndef PM_WORKLOADS_RUNNER_HH
+#define PM_WORKLOADS_RUNNER_HH
+
+#include <vector>
+
+#include "node/node.hh"
+#include "workloads/hint.hh"
+#include "workloads/matmult.hh"
+
+namespace pm::workloads {
+
+/** Result of one MatMult measurement. */
+struct MatMultResult
+{
+    unsigned n = 0;
+    bool transposed = false;
+    unsigned cpus = 1;
+    Tick elapsed = 0; //!< Wall time: max over participating CPUs.
+    std::uint64_t flops = 0; //!< Total simulated FP operations.
+    double mflops() const
+    {
+        return elapsed ? static_cast<double>(flops) / ticksToUs(elapsed)
+                       : 0.0;
+    }
+};
+
+/**
+ * Run MatMult on `cpus` processors of a freshly reset `node`.
+ * @param node The node (reset() is called first).
+ * @param n Matrix dimension.
+ * @param transposed Paper version (b) when true.
+ * @param cpus Number of processors to use (<= node.numCpus()).
+ * @param rowsToSimulate Row-sampling limit (0 = full run).
+ * @param independentCopies When true, each processor runs its own
+ *        complete MatMult on disjoint matrices — the paper's Figure 8
+ *        protocol ("measure it when started on both processors"),
+ *        which probes pure memory-system contention. When false the
+ *        processors cooperate on one multiplication (rows split
+ *        round-robin).
+ */
+MatMultResult runMatMult(node::Node &node, unsigned n, bool transposed,
+                         unsigned cpus, unsigned rowsToSimulate = 0,
+                         bool independentCopies = false);
+
+/** Run the HINT sweep on processor 0 of a freshly reset `node`. */
+std::vector<HintPoint> runHint(node::Node &node, const HintParams &params);
+
+} // namespace pm::workloads
+
+#endif // PM_WORKLOADS_RUNNER_HH

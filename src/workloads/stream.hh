@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A STREAM-style memory sweep: sequential loads (optionally with a
+ * store fraction) over a buffer much larger than the caches. Used by
+ * the node-scalability ablation (design study [4]) because it loads
+ * the node's shared resources — snooped address phase, data paths,
+ * DRAM banks — at full memory speed without the TLB-serialized
+ * behaviour of strided kernels (sequential pages walk once per page).
+ */
+
+#ifndef PM_WORKLOADS_STREAM_HH
+#define PM_WORKLOADS_STREAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/proc.hh"
+#include "cpu/workload.hh"
+#include "sim/types.hh"
+
+namespace pm::workloads {
+
+/** Configuration of one memory sweep. */
+struct MemStreamParams
+{
+    Addr base = 0x1000'0000;
+    std::uint64_t bytes = 8ull * 1024 * 1024; //!< Swept region.
+    unsigned passes = 2; //!< Full sweeps over the region.
+    /** Every Nth 8-byte word is also stored (0 = read-only sweep). */
+    unsigned storeEvery = 0;
+};
+
+/** Sequential sweep; one step covers one 4 KB block. */
+class MemStream : public cpu::Workload
+{
+  public:
+    explicit MemStream(const MemStreamParams &params) : _p(params) {}
+
+    std::string name() const override { return "memstream"; }
+
+    bool
+    step(cpu::Proc &proc) override
+    {
+        constexpr std::uint64_t kBlock = 4096;
+        const std::uint64_t offset = _pos;
+        const std::uint64_t len =
+            offset + kBlock <= _p.bytes ? kBlock : _p.bytes - offset;
+        proc.loadSeq(_p.base + offset, len);
+        if (_p.storeEvery) {
+            for (std::uint64_t w = 0; w < len / 8; w += _p.storeEvery)
+                proc.store(_p.base + offset + w * 8);
+        }
+        proc.instr(len / 8); // loop overhead
+        _bytesDone += len;
+        _pos += len;
+        if (_pos >= _p.bytes) {
+            _pos = 0;
+            if (++_pass >= _p.passes)
+                return false;
+        }
+        return true;
+    }
+
+    /** Total bytes swept so far. */
+    std::uint64_t bytesDone() const { return _bytesDone; }
+
+  private:
+    MemStreamParams _p;
+    std::uint64_t _pos = 0;
+    unsigned _pass = 0;
+    std::uint64_t _bytesDone = 0;
+};
+
+} // namespace pm::workloads
+
+#endif // PM_WORKLOADS_STREAM_HH

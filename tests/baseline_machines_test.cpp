@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the BIP/FM baseline cost models (anchored to the numbers
+ * the paper quotes from [9]) and the Table 1 machine configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/usercomm.hh"
+#include "machines/machines.hh"
+
+namespace {
+
+using namespace pm;
+using baseline::UserLevelCommModel;
+
+TEST(Baseline, BipAnchorsMatchThePaper)
+{
+    const auto bip = UserLevelCommModel::bip();
+    EXPECT_NEAR(bip.oneWayLatencyUs(8), 6.4, 0.15);
+    EXPECT_NEAR(bip.unidirectionalMBps(262144), 126.0, 3.0);
+}
+
+TEST(Baseline, FmAnchorsMatchThePaper)
+{
+    const auto fm = UserLevelCommModel::fm();
+    EXPECT_NEAR(fm.oneWayLatencyUs(8), 9.2, 0.2);
+    EXPECT_NEAR(fm.unidirectionalMBps(262144), 70.0, 3.0);
+}
+
+TEST(Baseline, LatencyIsMonotonicInSize)
+{
+    for (const auto &m :
+         {UserLevelCommModel::bip(), UserLevelCommModel::fm()}) {
+        double prev = 0.0;
+        for (std::uint64_t b = 4; b <= 1 << 20; b *= 4) {
+            const double lat = m.oneWayLatencyUs(b);
+            EXPECT_GE(lat, prev) << m.name() << " at " << b;
+            prev = lat;
+        }
+    }
+}
+
+TEST(Baseline, BandwidthRespectsPciCeiling)
+{
+    for (const auto &m :
+         {UserLevelCommModel::bip(), UserLevelCommModel::fm()}) {
+        for (std::uint64_t b = 16; b <= 1 << 20; b *= 8) {
+            EXPECT_LE(m.unidirectionalMBps(b), m.pciCapMBps);
+            EXPECT_LE(m.bidirectionalMBps(b), m.pciCapMBps);
+        }
+    }
+}
+
+TEST(Baseline, BidirectionalAtLeastUnidirectional)
+{
+    const auto bip = UserLevelCommModel::bip();
+    for (std::uint64_t b = 64; b <= 1 << 18; b *= 4)
+        EXPECT_GE(bip.bidirectionalMBps(b), bip.unidirectionalMBps(b));
+}
+
+TEST(Baseline, DmaBeatsPioForLargeMessages)
+{
+    const auto bip = UserLevelCommModel::bip();
+    // Above the threshold the latency curve must flatten vs pure PIO.
+    const double pioOnly =
+        bip.sendOverheadUs + bip.recvOverheadUs + bip.wireLatencyUs +
+        65536 * bip.pioPerByteUs;
+    EXPECT_LT(bip.oneWayLatencyUs(65536), pioOnly);
+}
+
+TEST(Baseline, FmIsSlowerThanBipEverywhere)
+{
+    const auto bip = UserLevelCommModel::bip();
+    const auto fm = UserLevelCommModel::fm();
+    for (std::uint64_t b = 4; b <= 1 << 18; b *= 4)
+        EXPECT_GT(fm.oneWayLatencyUs(b), bip.oneWayLatencyUs(b));
+}
+
+// ---- Table 1 configurations. -------------------------------------------
+
+TEST(Machines, Table1Clocks)
+{
+    EXPECT_DOUBLE_EQ(machines::powerManna().cpu.clockMhz, 180.0);
+    EXPECT_DOUBLE_EQ(machines::powerManna().bus.clockMhz, 60.0);
+    EXPECT_DOUBLE_EQ(machines::sunUltra1().cpu.clockMhz, 168.0);
+    EXPECT_DOUBLE_EQ(machines::sunUltra1().bus.clockMhz, 84.0);
+    EXPECT_DOUBLE_EQ(machines::pentiumPc180().cpu.clockMhz, 180.0);
+    EXPECT_DOUBLE_EQ(machines::pentiumPc266().cpu.clockMhz, 266.0);
+    EXPECT_DOUBLE_EQ(machines::pentiumPc266().bus.clockMhz, 66.0);
+}
+
+TEST(Machines, Table1Caches)
+{
+    const auto pm = machines::powerManna();
+    EXPECT_EQ(pm.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(pm.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(pm.l1.lineSize, 64u);
+
+    const auto sun = machines::sunUltra1();
+    EXPECT_EQ(sun.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(sun.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(sun.l1.lineSize, 32u);
+
+    const auto pc = machines::pentiumPc180();
+    EXPECT_EQ(pc.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(pc.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(pc.l1.lineSize, 32u);
+}
+
+TEST(Machines, AllNodesAreDualProcessor)
+{
+    for (const auto &cfg : machines::allNodeConfigs())
+        EXPECT_EQ(cfg.numCpus, 2u);
+}
+
+TEST(Machines, ArchitecturalDistinctions)
+{
+    // The features Section 2 contrasts: only PowerMANNA has both split
+    // transactions and point-to-point data paths; the PC has neither.
+    const auto pm = machines::powerManna();
+    EXPECT_TRUE(pm.bus.splitTransactions);
+    EXPECT_TRUE(pm.bus.pointToPointData);
+    EXPECT_EQ(pm.cpu.maxOutstandingMisses, 1u); // no load pipelining
+    EXPECT_TRUE(pm.cpu.tlb.hashedPageTables);
+
+    const auto sun = machines::sunUltra1();
+    EXPECT_TRUE(sun.bus.splitTransactions);
+    EXPECT_FALSE(sun.bus.pointToPointData);
+
+    const auto pc = machines::pentiumPc180();
+    EXPECT_FALSE(pc.bus.splitTransactions);
+    EXPECT_GT(pc.cpu.maxOutstandingMisses, 1u); // load pipelining
+    EXPECT_FALSE(pc.cpu.tlb.hashedPageTables);
+}
+
+TEST(Machines, PowerMannaMemoryBandwidthIs640)
+{
+    EXPECT_DOUBLE_EQ(machines::powerManna().dram.aggregateMBps(), 640.0);
+}
+
+TEST(Machines, PowerMannaNScalesProcessors)
+{
+    for (unsigned n = 1; n <= 6; ++n)
+        EXPECT_EQ(machines::powerMannaN(n).numCpus, n);
+}
+
+TEST(Machines, DescribeMentionsKeyNumbers)
+{
+    const std::string d = machines::describe(machines::powerManna());
+    EXPECT_NE(d.find("180"), std::string::npos);
+    EXPECT_NE(d.find("2048K"), std::string::npos);
+    EXPECT_NE(d.find("640"), std::string::npos);
+}
+
+} // namespace

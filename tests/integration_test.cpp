@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Integration tests: whole-machine behaviours that tie the node, the
+ * network, and the driver together, pinned to the paper's headline
+ * quantities (with tolerances wide enough to survive recalibration but
+ * tight enough to catch structural regressions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "machines/machines.hh"
+#include "msg/driver.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+#include "workloads/runner.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::msg;
+
+SystemParams
+cluster8()
+{
+    SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 8;
+    return sp;
+}
+
+TEST(Integration, EightByteLatencyNearPaperAnchor)
+{
+    System sys(cluster8());
+    const double us = measureOneWayLatencyUs(sys, 0, 1, 8, 8);
+    // Paper: 2.75 us.
+    EXPECT_GT(us, 2.0);
+    EXPECT_LT(us, 3.5);
+}
+
+TEST(Integration, UnidirectionalBandwidthSaturatesAt60)
+{
+    System sys(cluster8());
+    const double bw = measureUnidirectionalMBps(sys, 0, 1, 65536, 8);
+    EXPECT_GT(bw, 55.0);
+    EXPECT_LE(bw, 60.5);
+}
+
+TEST(Integration, BidirectionalFallsShortOfDuplex)
+{
+    // The Figure 12 effect: well below 120 MB/s with 32-word FIFOs.
+    System sys(cluster8());
+    const double bi = measureBidirectionalMBps(sys, 0, 1, 65536, 8);
+    EXPECT_GT(bi, 60.0);
+    EXPECT_LT(bi, 100.0);
+}
+
+TEST(Integration, DeeperFifosImproveBidirectional)
+{
+    SystemParams sp = cluster8();
+    System small(sp);
+    sp.fabric.ni.fifoWords = 128;
+    System big(sp);
+    const double bwSmall = measureBidirectionalMBps(small, 0, 1, 32768, 6);
+    const double bwBig = measureBidirectionalMBps(big, 0, 1, 32768, 6);
+    EXPECT_GT(bwBig, bwSmall);
+}
+
+TEST(Integration, InterClusterCostsMoreThanIntra)
+{
+    SystemParams sp = cluster8();
+    sp.fabric.clusters = 2;
+    sp.fabric.uplinksPerCluster = 4;
+    System sys(sp);
+    const double intra = measureOneWayLatencyUs(sys, 0, 1, 8, 4);
+    const double inter = measureOneWayLatencyUs(sys, 0, 9, 8, 4);
+    EXPECT_GT(inter, intra + 0.3); // 2 more crossbars + 2 cables
+    EXPECT_LT(inter, intra + 3.0); // but still only microseconds
+}
+
+TEST(Integration, DualProcessorMatMultSpeedupNearTwo)
+{
+    node::Node node(machines::powerManna());
+    auto r1 = workloads::runMatMult(node, 256, true, 1, 16);
+    auto r2 = workloads::runMatMult(node, 256, true, 2, 16, true);
+    const double speedup = r2.mflops() / r1.mflops();
+    EXPECT_GT(speedup, 1.85); // the paper's "exactly doubles"
+}
+
+TEST(Integration, PcClusterLosesMoreThanPowerMannaSmp)
+{
+    node::Node pmNode(machines::powerManna());
+    node::Node pcNode(machines::pentiumPc180());
+    const unsigned n = 256;
+    auto pm1 = workloads::runMatMult(pmNode, n, true, 1, 16);
+    auto pm2 = workloads::runMatMult(pmNode, n, true, 2, 16, true);
+    auto pc1 = workloads::runMatMult(pcNode, n, true, 1, 16);
+    auto pc2 = workloads::runMatMult(pcNode, n, true, 2, 16, true);
+    EXPECT_GT(pm2.mflops() / pm1.mflops(), pc2.mflops() / pc1.mflops());
+}
+
+TEST(Integration, CommunicationContendsWithComputeOnTheBus)
+{
+    // A message sent while the *other* processor hammers memory takes
+    // longer than on an otherwise idle node: the PIO beats share the
+    // snooped address phase. (The CPU-driven NI's known cost.)
+    System sysIdle(cluster8());
+    const double idleUs = measureOneWayLatencyUs(sysIdle, 0, 1, 1024, 4);
+
+    System sysBusy(cluster8());
+    sysBusy.resetForRun();
+    // Saturate node 0's bus from CPU 1 far into the future.
+    auto &busyProc = sysBusy.node(0).proc(1);
+    for (int i = 0; i < 20000; ++i)
+        busyProc.load(0x2000'0000 + Addr(i) * 64);
+    PmComm a(sysBusy, 0), b(sysBusy, 1);
+    auto payload = makePayload(1024, 1);
+    bool done = false;
+    const Tick start = sysBusy.queue().now();
+    a.postSend(1, payload);
+    b.postRecv([&](std::vector<std::uint64_t>, bool) { done = true; });
+    while (!done && sysBusy.queue().step()) {
+    }
+    const double busyUs = ticksToUs(sysBusy.queue().now() - start);
+    EXPECT_GT(busyUs, idleUs);
+}
+
+TEST(Integration, AllNodesCanTalkSimultaneously)
+{
+    System sys(cluster8());
+    sys.resetForRun();
+    std::vector<std::unique_ptr<PmComm>> comm;
+    for (unsigned n = 0; n < 8; ++n)
+        comm.push_back(std::make_unique<PmComm>(sys, n));
+    unsigned received = 0;
+    for (unsigned n = 0; n < 8; ++n) {
+        auto payload = makePayload(512, n);
+        comm[n]->postSend((n + 1) % 8, payload);
+        comm[n]->postRecv([&](std::vector<std::uint64_t>, bool ok) {
+            ASSERT_TRUE(ok);
+            ++received;
+        });
+    }
+    while (received < 8 && sys.queue().step()) {
+    }
+    EXPECT_EQ(received, 8u);
+}
+
+TEST(Integration, StatsDumpContainsAllSubsystems)
+{
+    node::Node node(machines::powerManna());
+    workloads::runMatMult(node, 64, false, 2, 8);
+    std::ostringstream os;
+    node.stats().dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("cpu0.l1d.misses"), std::string::npos);
+    EXPECT_NE(s.find("cpu1.l2.hits"), std::string::npos);
+    EXPECT_NE(s.find("switch.transactions"), std::string::npos);
+    EXPECT_NE(s.find("cpu0.fp_ops"), std::string::npos);
+}
+
+} // namespace

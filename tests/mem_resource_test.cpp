@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the interval-calendar Resource: gap backfill,
+ * joint acquisition, pruning — the machinery that makes the node
+ * timing model insensitive to scheduler chunk size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/resource.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using pm::Tick;
+using pm::mem::BankedResource;
+using pm::mem::Resource;
+
+TEST(Resource, FreshResourceStartsImmediately)
+{
+    Resource r;
+    EXPECT_EQ(r.earliestFit(100, 50), 100u);
+    EXPECT_EQ(r.acquire(100, 50), 100u);
+    EXPECT_EQ(r.freeAt(), 150u);
+}
+
+TEST(Resource, BackToBackQueues)
+{
+    Resource r;
+    EXPECT_EQ(r.acquire(0, 100), 0u);
+    EXPECT_EQ(r.acquire(0, 100), 100u);
+    EXPECT_EQ(r.acquire(50, 100), 200u);
+}
+
+TEST(Resource, BackfillsEarlierGap)
+{
+    Resource r;
+    r.acquire(1000, 100); // [1000, 1100)
+    // A later-arriving but earlier-timed request fits before it.
+    EXPECT_EQ(r.acquire(0, 100), 0u);
+    // And in the gap between the two.
+    EXPECT_EQ(r.acquire(100, 500), 100u);
+}
+
+TEST(Resource, GapTooSmallSkipsForward)
+{
+    Resource r;
+    r.acquire(0, 100); // [0,100)
+    r.acquire(150, 100); // [150,250)
+    // 50-tick gap at [100,150) cannot hold 80 ticks.
+    EXPECT_EQ(r.acquire(100, 80), 250u);
+    // But can hold 50.
+    EXPECT_EQ(r.acquire(100, 50), 100u);
+}
+
+TEST(Resource, RequestInsideBusyIntervalWaits)
+{
+    Resource r;
+    r.acquire(100, 100); // [100,200)
+    EXPECT_EQ(r.acquire(150, 10), 200u);
+}
+
+TEST(Resource, ZeroDurationIsFree)
+{
+    Resource r;
+    EXPECT_EQ(r.acquire(10, 0), 10u);
+    EXPECT_EQ(r.intervals(), 0u);
+}
+
+TEST(Resource, BusyTicksAccumulate)
+{
+    Resource r;
+    r.acquire(0, 100);
+    r.acquire(0, 50);
+    EXPECT_DOUBLE_EQ(r.busyTicks(), 150.0);
+}
+
+TEST(Resource, PruneDropsOnlyOldIntervals)
+{
+    Resource r;
+    r.acquire(0, 100);
+    r.acquire(200, 100);
+    EXPECT_EQ(r.intervals(), 2u);
+    r.pruneBelow(150);
+    EXPECT_EQ(r.intervals(), 1u);
+    // The surviving interval still blocks.
+    EXPECT_EQ(r.acquire(200, 10), 300u);
+}
+
+TEST(Resource, ResetClearsEverything)
+{
+    Resource r;
+    r.acquire(0, 100);
+    r.reset();
+    EXPECT_EQ(r.intervals(), 0u);
+    EXPECT_EQ(r.acquire(0, 10), 0u);
+}
+
+TEST(Resource, AcquirePairFindsCommonSlot)
+{
+    Resource a, b;
+    a.acquire(0, 100); // a busy [0,100)
+    b.acquire(100, 100); // b busy [100,200)
+    // Earliest common free slot of length 50 is at 200.
+    EXPECT_EQ(Resource::acquirePair(a, b, 0, 50), 200u);
+}
+
+TEST(Resource, AcquirePairUsesSharedGap)
+{
+    Resource a, b;
+    a.acquire(0, 50); // a busy [0,50)
+    b.acquire(80, 50); // b busy [80,130)
+    // [50,80) is free on both and holds 30.
+    EXPECT_EQ(Resource::acquirePair(a, b, 0, 30), 50u);
+}
+
+TEST(Resource, AcquireTogetherDifferentDurations)
+{
+    Resource bus, bank;
+    bank.acquire(0, 300); // bank busy [0,300)
+    // Bus wants 100, bank wants 400, common start at 300.
+    const Tick s = Resource::acquireTogether(bus, 100, bank, 400, 0);
+    EXPECT_EQ(s, 300u);
+    EXPECT_EQ(bus.freeAt(), 400u);
+    EXPECT_EQ(bank.freeAt(), 700u);
+}
+
+TEST(Resource, OutOfOrderArrivalsAreOrderInsensitive)
+{
+    // The same set of (arrival, duration) requests must produce the
+    // same total busy time regardless of arrival-processing order.
+    pm::sim::SplitMix64 rng(7);
+    std::vector<std::pair<Tick, Tick>> reqs;
+    for (int i = 0; i < 64; ++i)
+        reqs.emplace_back(rng.below(10000), 10 + rng.below(90));
+
+    Resource fwd;
+    for (auto [at, dur] : reqs)
+        fwd.acquire(at, dur);
+
+    Resource rev;
+    for (auto it = reqs.rbegin(); it != reqs.rend(); ++it)
+        rev.acquire(it->first, it->second);
+
+    EXPECT_DOUBLE_EQ(fwd.busyTicks(), rev.busyTicks());
+}
+
+TEST(BankedResource, BanksQueueIndependently)
+{
+    BankedResource dram("d", 4);
+    EXPECT_EQ(dram.acquire(0, 0, 100), 0u);
+    EXPECT_EQ(dram.acquire(1, 0, 100), 0u); // different bank: no wait
+    EXPECT_EQ(dram.acquire(0, 0, 100), 100u); // same bank: queued
+}
+
+TEST(BankedResource, BankIndexWraps)
+{
+    BankedResource dram("d", 4);
+    dram.acquire(1, 0, 100);
+    EXPECT_EQ(dram.acquire(5, 0, 100), 100u); // 5 % 4 == 1
+}
+
+TEST(BankedResource, AggregateBusyTicks)
+{
+    BankedResource dram("d", 2);
+    dram.acquire(0, 0, 100);
+    dram.acquire(1, 0, 50);
+    EXPECT_DOUBLE_EQ(dram.busyTicks(), 150.0);
+}
+
+TEST(BankedResource, ResetAndPrune)
+{
+    BankedResource dram("d", 2);
+    dram.acquire(0, 0, 100);
+    dram.pruneBelow(200);
+    EXPECT_EQ(dram.bank(0).intervals(), 0u);
+    dram.acquire(1, 0, 100);
+    dram.reset();
+    EXPECT_EQ(dram.acquire(1, 0, 10), 0u);
+}
+
+} // namespace

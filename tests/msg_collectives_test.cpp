@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the collective operations: correctness of barrier,
+ * broadcast, reduce and allreduce over the simulated machine, timing
+ * sanity (log-round scaling), and non-power-of-two and rooted
+ * variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "machines/machines.hh"
+#include "msg/collectives.hh"
+#include "msg/probes.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::msg;
+
+SystemParams
+clusterParams(unsigned nodes)
+{
+    SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = nodes;
+    return sp;
+}
+
+std::vector<unsigned>
+allRanks(unsigned n)
+{
+    std::vector<unsigned> v(n);
+    std::iota(v.begin(), v.end(), 0u);
+    return v;
+}
+
+TEST(Collectives, BarrierCompletes)
+{
+    System sys(clusterParams(8));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(8));
+    const Tick t = comm.barrier();
+    EXPECT_GT(t, 0u);
+    EXPECT_LT(ticksToUs(t), 60.0);
+}
+
+TEST(Collectives, BarrierScalesLogarithmically)
+{
+    System sys2(clusterParams(2));
+    sys2.resetForRun();
+    Communicator c2(sys2, allRanks(2));
+    System sys8(clusterParams(8));
+    sys8.resetForRun();
+    Communicator c8(sys8, allRanks(8));
+    const Tick t2 = c2.barrier();
+    const Tick t8 = c8.barrier();
+    EXPECT_GT(t8, t2);
+    EXPECT_LT(t8, 6 * t2); // 3 rounds vs 1, plus contention
+}
+
+TEST(Collectives, RepeatedBarriersWork)
+{
+    System sys(clusterParams(4));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(4));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GT(comm.barrier(), 0u);
+}
+
+TEST(Collectives, BroadcastDeliversToAll)
+{
+    System sys(clusterParams(8));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(8));
+    const auto words = makePayload(512, 11);
+    const Tick t = comm.broadcast(0, words);
+    EXPECT_GT(t, 0u);
+}
+
+TEST(Collectives, BroadcastFromNonzeroRoot)
+{
+    System sys(clusterParams(8));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(8));
+    EXPECT_GT(comm.broadcast(5, makePayload(64, 3)), 0u);
+}
+
+TEST(Collectives, BroadcastNonPowerOfTwo)
+{
+    System sys(clusterParams(6));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(6));
+    EXPECT_GT(comm.broadcast(2, makePayload(128, 9)), 0u);
+}
+
+TEST(Collectives, ReduceSumsElementwise)
+{
+    constexpr unsigned kRanks = 8;
+    System sys(clusterParams(kRanks));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(kRanks));
+
+    std::vector<std::vector<std::uint64_t>> contribs;
+    for (unsigned r = 0; r < kRanks; ++r)
+        contribs.push_back({r + 1, 10 * (r + 1), 100});
+    std::vector<std::uint64_t> result;
+    comm.reduceSum(0, contribs, result);
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0], 36u); // 1+..+8
+    EXPECT_EQ(result[1], 360u);
+    EXPECT_EQ(result[2], 800u);
+}
+
+TEST(Collectives, ReduceToNonzeroRoot)
+{
+    System sys(clusterParams(5));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(5));
+    std::vector<std::vector<std::uint64_t>> contribs(
+        5, std::vector<std::uint64_t>{7});
+    std::vector<std::uint64_t> result;
+    comm.reduceSum(3, contribs, result);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], 35u);
+}
+
+TEST(Collectives, AllReduceMatchesManualSum)
+{
+    constexpr unsigned kRanks = 4;
+    System sys(clusterParams(kRanks));
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(kRanks));
+    std::vector<std::vector<std::uint64_t>> contribs;
+    for (unsigned r = 0; r < kRanks; ++r)
+        contribs.push_back(makePayload(256, r));
+    std::vector<std::uint64_t> expect(contribs[0].size(), 0);
+    for (const auto &c : contribs)
+        for (std::size_t i = 0; i < c.size(); ++i)
+            expect[i] += c[i];
+
+    std::vector<std::uint64_t> result;
+    const Tick t = comm.allReduceSum(contribs, result);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(result, expect);
+}
+
+TEST(Collectives, SubsetOfNodesCanFormCommunicator)
+{
+    System sys(clusterParams(8));
+    sys.resetForRun();
+    Communicator comm(sys, {1, 3, 5, 7});
+    EXPECT_EQ(comm.size(), 4u);
+    EXPECT_GT(comm.barrier(), 0u);
+}
+
+TEST(Collectives, WorksAcrossCabinets)
+{
+    SystemParams sp = clusterParams(8);
+    sp.fabric.clusters = 2;
+    sp.fabric.uplinksPerCluster = 4;
+    System sys(sp);
+    sys.resetForRun();
+    Communicator comm(sys, allRanks(16));
+    std::vector<std::vector<std::uint64_t>> contribs(
+        16, std::vector<std::uint64_t>{1});
+    std::vector<std::uint64_t> result;
+    comm.allReduceSum(contribs, result);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], 16u);
+}
+
+TEST(Collectives, RejectsTinyGroups)
+{
+    System sys(clusterParams(2));
+    EXPECT_EXIT(Communicator(sys, {0}), ::testing::ExitedWithCode(1),
+                "at least two");
+}
+
+} // namespace

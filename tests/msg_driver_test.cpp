@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the user-level driver and System: end-to-end message
+ * integrity through the full machine (caches, PIO, NI, crossbar),
+ * ordering, flow control on large messages, duplex interleaving, and
+ * the measurement probes' sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "machines/machines.hh"
+#include "msg/driver.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::msg;
+
+SystemParams
+smallSystem(unsigned nodes = 2)
+{
+    SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = nodes;
+    return sp;
+}
+
+TEST(PmComm, SingleMessageArrivesIntact)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    const auto payload = makePayload(128, 7);
+
+    bool ok = false;
+    a.postSend(1, payload);
+    b.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        ok = crc && got == payload;
+    });
+    while (!ok && sys.queue().step()) {
+    }
+    EXPECT_TRUE(ok);
+}
+
+TEST(PmComm, EightByteMessageUnderThreeMicroseconds)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    bool done = false;
+    const Tick start = sys.queue().now();
+    a.postSend(1, makePayload(8, 1));
+    b.postRecv([&](std::vector<std::uint64_t>, bool) { done = true; });
+    while (!done && sys.queue().step()) {
+    }
+    const double us = ticksToUs(sys.queue().now() - start);
+    EXPECT_LT(us, 5.0);
+    EXPECT_GT(us, 1.0);
+}
+
+TEST(PmComm, MessagesArriveInOrder)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    std::vector<std::uint64_t> firstWords;
+    unsigned got = 0;
+    for (unsigned m = 0; m < 8; ++m) {
+        a.postSend(1, {m, m * 10});
+        b.postRecv([&](std::vector<std::uint64_t> w, bool crc) {
+            ASSERT_TRUE(crc);
+            firstWords.push_back(w[0]);
+            ++got;
+        });
+    }
+    while (got < 8 && sys.queue().step()) {
+    }
+    ASSERT_EQ(firstWords.size(), 8u);
+    for (unsigned m = 0; m < 8; ++m)
+        EXPECT_EQ(firstWords[m], m);
+}
+
+TEST(PmComm, LargeMessageStreamsThroughSmallFifos)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    const auto payload = makePayload(32768, 3); // 4096 words >> 32 FIFO
+    bool ok = false;
+    a.postSend(1, payload);
+    b.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        ok = crc && got == payload;
+    });
+    while (!ok && sys.queue().step()) {
+    }
+    EXPECT_TRUE(ok);
+}
+
+TEST(PmComm, BothDirectionsSimultaneously)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    const auto pa = makePayload(2048, 5);
+    const auto pb = makePayload(2048, 6);
+    unsigned done = 0;
+    a.postSend(1, pa);
+    b.postSend(0, pb);
+    a.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        EXPECT_TRUE(crc);
+        EXPECT_EQ(got, pb);
+        ++done;
+    });
+    b.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        EXPECT_TRUE(crc);
+        EXPECT_EQ(got, pa);
+        ++done;
+    });
+    while (done < 2 && sys.queue().step()) {
+    }
+    EXPECT_EQ(done, 2u);
+}
+
+TEST(PmComm, SecondLinkInterfaceWorksIndependently)
+{
+    SystemParams sp = smallSystem();
+    sp.fabric.networks = 2;
+    System sys(sp);
+    sys.resetForRun();
+    // Network 1 (the "OS network" in the paper's first implementation).
+    PmComm a(sys, 0, 0, 1), b(sys, 1, 0, 1);
+    bool ok = false;
+    a.postSend(1, {42});
+    b.postRecv([&](std::vector<std::uint64_t> w, bool crc) {
+        ok = crc && w.size() == 1 && w[0] == 42;
+    });
+    while (!ok && sys.queue().step()) {
+    }
+    EXPECT_TRUE(ok);
+    // Network 0 saw nothing.
+    EXPECT_EQ(sys.ni(1, 0).messagesReceived(), 0u);
+}
+
+TEST(PmComm, EmptyPayloadMessage)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    bool ok = false;
+    a.postSend(1, {});
+    b.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        ok = crc && got.empty();
+    });
+    while (!ok && sys.queue().step()) {
+    }
+    EXPECT_TRUE(ok);
+}
+
+TEST(PmComm, DriverChargesBusTraffic)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    const double beats = sys.node(0).bus().pioBeats.value();
+    bool done = false;
+    a.postSend(1, makePayload(256, 9));
+    b.postRecv([&](std::vector<std::uint64_t>, bool) { done = true; });
+    while (!done && sys.queue().step()) {
+    }
+    // Sender: >= 32 word stores + header + route + close + polls.
+    EXPECT_GT(sys.node(0).bus().pioBeats.value() - beats, 32.0);
+}
+
+TEST(Probes, LatencyGrowsWithSize)
+{
+    System sys(smallSystem(8));
+    const double l8 = measureOneWayLatencyUs(sys, 0, 1, 8, 4);
+    const double l1k = measureOneWayLatencyUs(sys, 0, 1, 1024, 4);
+    EXPECT_GT(l1k, l8);
+}
+
+TEST(Probes, UnidirectionalBandwidthIsWireLimited)
+{
+    System sys(smallSystem(2));
+    const double bw = measureUnidirectionalMBps(sys, 0, 1, 32768, 6);
+    EXPECT_GT(bw, 50.0);
+    EXPECT_LE(bw, 61.0); // never exceeds the 60 MB/s wire
+}
+
+TEST(Probes, BidirectionalIsBetweenOneAndTwoLinks)
+{
+    System sys(smallSystem(2));
+    const double uni = measureUnidirectionalMBps(sys, 0, 1, 32768, 6);
+    const double bi = measureBidirectionalMBps(sys, 0, 1, 32768, 6);
+    EXPECT_GT(bi, uni); // duplex helps...
+    EXPECT_LT(bi, 2.0 * uni); // ...but the FIFO switching costs
+}
+
+TEST(Probes, GapBelowLatency)
+{
+    // Pipelining: the steady-state gap is below the one-way latency
+    // for small messages.
+    System sys(smallSystem(8));
+    const double lat = measureOneWayLatencyUs(sys, 0, 1, 8, 4);
+    const double gap = measureGapUs(sys, 0, 1, 8, 16);
+    EXPECT_LT(gap, lat);
+}
+
+TEST(System, ResetForRunClearsState)
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    bool done = false;
+    a.postSend(1, {1, 2, 3});
+    b.postRecv([&](std::vector<std::uint64_t>, bool) { done = true; });
+    while (!done && sys.queue().step()) {
+    }
+    sys.resetForRun();
+    EXPECT_EQ(sys.ni(1).recvAvailable(), 0u);
+    EXPECT_EQ(sys.ni(1).messagesReceived(), 0u);
+    // Processors rejoin the (monotonic) queue time.
+    EXPECT_GE(sys.node(0).proc(0).time(), sys.queue().now());
+}
+
+} // namespace

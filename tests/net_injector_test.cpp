@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the synthetic traffic injector and drain: message
+ * integrity under load, offered-load accounting, backpressure
+ * behaviour, and latency measurement sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/injector.hh"
+#include "net/topology.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::net;
+
+FabricParams
+fabricParams(unsigned clusters = 1)
+{
+    FabricParams fp;
+    fp.clusters = clusters;
+    fp.nodesPerCluster = 8;
+    fp.uplinksPerCluster = clusters > 1 ? 4 : 0;
+    fp.networks = 1;
+    return fp;
+}
+
+TEST(Injector, DeliversEverythingAtLowLoad)
+{
+    sim::EventQueue queue;
+    Fabric fabric(fabricParams(), queue);
+    Drain drain(fabric, queue);
+
+    std::vector<std::unique_ptr<Injector>> inj;
+    InjectorParams ip;
+    ip.offeredMBps = 5.0;
+    ip.payloadWords = 4;
+    for (unsigned n = 0; n < 8; ++n) {
+        ip.seed = n;
+        inj.push_back(std::make_unique<Injector>(fabric, queue, n, ip));
+        inj.back()->start(500 * kTicksPerUs);
+    }
+    queue.run(800 * kTicksPerUs);
+    drain.stop();
+    queue.run();
+
+    double sent = 0;
+    for (auto &i : inj)
+        sent += i->sent.value();
+    EXPECT_GT(sent, 0.0);
+    EXPECT_EQ(static_cast<double>(drain.received()), sent);
+    EXPECT_EQ(drain.latency().count(), drain.received());
+}
+
+TEST(Injector, BackpressureThrottlesNotLoses)
+{
+    sim::EventQueue queue;
+    Fabric fabric(fabricParams(), queue);
+    Drain drain(fabric, queue);
+
+    // Everyone hammers node 0: far beyond one ejection link.
+    std::vector<std::unique_ptr<Injector>> inj;
+    InjectorParams ip;
+    ip.offeredMBps = 50.0;
+    ip.payloadWords = 8;
+    ip.uniformRandom = false;
+    ip.fixedDest = 0;
+    for (unsigned n = 1; n < 8; ++n) {
+        ip.seed = n;
+        inj.push_back(std::make_unique<Injector>(fabric, queue, n, ip));
+        inj.back()->start(300 * kTicksPerUs);
+    }
+    queue.run(2 * kTicksPerMs);
+    drain.stop();
+    queue.run();
+
+    double sent = 0, throttled = 0;
+    for (auto &i : inj) {
+        sent += i->sent.value();
+        throttled += i->throttled.value();
+    }
+    EXPECT_GT(throttled, 0.0); // hotspot must push back
+    EXPECT_EQ(static_cast<double>(drain.received()), sent); // no loss
+}
+
+TEST(Injector, LatencyGrowsWithLoad)
+{
+    auto meanLatency = [](double mbps) {
+        sim::EventQueue queue;
+        Fabric fabric(fabricParams(), queue);
+        Drain drain(fabric, queue);
+        std::vector<std::unique_ptr<Injector>> inj;
+        InjectorParams ip;
+        ip.offeredMBps = mbps;
+        ip.payloadWords = 8;
+        for (unsigned n = 0; n < 8; ++n) {
+            ip.seed = n + 3;
+            inj.push_back(
+                std::make_unique<Injector>(fabric, queue, n, ip));
+            inj.back()->start(1 * kTicksPerMs);
+        }
+        queue.run(3 * kTicksPerMs);
+        drain.stop();
+        queue.run();
+        return drain.latency().mean();
+    };
+    EXPECT_GT(meanLatency(40.0), 1.5 * meanLatency(5.0));
+}
+
+TEST(Injector, RejectsBadParams)
+{
+    sim::EventQueue queue;
+    Fabric fabric(fabricParams(), queue);
+    InjectorParams ip;
+    ip.offeredMBps = 0.0;
+    EXPECT_EXIT(Injector(fabric, queue, 0, ip),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the link layer: symbols, input FIFOs with flow
+ * control, and the LinkTx serializer (wire rate, latency, stop-signal
+ * behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fifo.hh"
+#include "net/link.hh"
+#include "net/symbol.hh"
+#include "sim/event.hh"
+
+namespace {
+
+using namespace pm;
+using namespace pm::net;
+
+TEST(Symbol, WireSizes)
+{
+    EXPECT_EQ(Symbol::makeRoute(3).wireBytes(), 1u);
+    EXPECT_EQ(Symbol::makeClose().wireBytes(), 1u);
+    EXPECT_EQ(Symbol::makeData(42).wireBytes(), 8u);
+}
+
+TEST(Symbol, FactoriesSetFields)
+{
+    const Symbol r = Symbol::makeRoute(7);
+    EXPECT_EQ(r.kind, SymKind::Route);
+    EXPECT_EQ(r.route, 7);
+    const Symbol d = Symbol::makeData(0xabcdefull);
+    EXPECT_EQ(d.kind, SymKind::Data);
+    EXPECT_EQ(d.data, 0xabcdefull);
+    EXPECT_EQ(Symbol::makeClose().kind, SymKind::Close);
+}
+
+TEST(InputFifo, PushPopFifoOrder)
+{
+    InputFifo f("f", 4);
+    f.push(Symbol::makeData(1), 0);
+    f.push(Symbol::makeData(2), 0);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop().data, 1u);
+    EXPECT_EQ(f.pop().data, 2u);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(InputFifo, CapacityAndSpace)
+{
+    InputFifo f("f", 2);
+    EXPECT_EQ(f.freeSpace(), 2u);
+    f.push(Symbol::makeData(1), 0);
+    EXPECT_EQ(f.freeSpace(), 1u);
+    f.push(Symbol::makeData(2), 0);
+    EXPECT_EQ(f.freeSpace(), 0u);
+    EXPECT_FALSE(f.hasSpace());
+}
+
+TEST(InputFifo, OverflowPanics)
+{
+    InputFifo f("f", 1);
+    f.push(Symbol::makeData(1), 0);
+    EXPECT_DEATH(f.push(Symbol::makeData(2), 0), "full FIFO");
+}
+
+TEST(InputFifo, SpaceCallbackFiresOncePerSubscription)
+{
+    InputFifo f("f", 1);
+    f.push(Symbol::makeData(1), 0);
+    int fired = 0;
+    f.onSpace([&] { ++fired; });
+    f.pop();
+    EXPECT_EQ(fired, 1);
+    f.push(Symbol::makeData(2), 0);
+    f.pop();
+    EXPECT_EQ(fired, 1); // one-shot
+}
+
+TEST(InputFifo, FillCallbackFiresOnEveryPush)
+{
+    InputFifo f("f", 4);
+    int fills = 0;
+    f.setFillCallback([&] { ++fills; });
+    f.push(Symbol::makeData(1), 0);
+    f.push(Symbol::makeData(2), 0);
+    EXPECT_EQ(fills, 2);
+}
+
+TEST(InputFifo, TracksPeakOccupancy)
+{
+    InputFifo f("f", 4);
+    f.push(Symbol::makeData(1), 0);
+    f.push(Symbol::makeData(2), 0);
+    f.pop();
+    EXPECT_EQ(f.maxOccupancy.value(), 2.0);
+}
+
+TEST(LinkParams, TxTimeMatchesWireRate)
+{
+    LinkParams p;
+    p.mbps = 60.0;
+    // One byte at 60 MB/s = 16.67 ns.
+    EXPECT_NEAR(double(p.txTime(1)), 16667, 10);
+    EXPECT_NEAR(double(p.txTime(8)), 133333, 50);
+}
+
+TEST(LinkTx, DeliversAfterTxTimePlusLatency)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 8);
+    LinkParams p;
+    p.mbps = 60.0;
+    p.latency = 33000;
+    LinkTx tx("t", q, p, &sink);
+
+    ASSERT_TRUE(tx.canSend(0));
+    tx.send(Symbol::makeData(99), 0);
+    EXPECT_TRUE(sink.empty());
+    q.run();
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.pop().data, 99u);
+    EXPECT_EQ(q.now(), p.txTime(8) + p.latency);
+}
+
+TEST(LinkTx, WireSerializesBackToBack)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 8);
+    LinkParams p;
+    LinkTx tx("t", q, p, &sink);
+
+    const Tick free1 = tx.send(Symbol::makeData(1), 0);
+    EXPECT_FALSE(tx.canSend(0)); // wire busy
+    EXPECT_TRUE(tx.canSend(free1));
+    const Tick free2 = tx.send(Symbol::makeData(2), free1);
+    EXPECT_EQ(free2 - free1, p.txTime(8));
+    q.run();
+    EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(LinkTx, RouteByteIsCheap)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 8);
+    LinkParams p;
+    LinkTx tx("t", q, p, &sink);
+    const Tick free1 = tx.send(Symbol::makeRoute(5), 0);
+    EXPECT_EQ(free1, p.txTime(1));
+}
+
+TEST(LinkTx, RespectsReceiverSpaceIncludingInflight)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 2);
+    LinkParams p;
+    LinkTx tx("t", q, p, &sink);
+
+    Tick t = tx.send(Symbol::makeData(1), 0);
+    t = tx.send(Symbol::makeData(2), t);
+    // Two symbols in flight toward a 2-entry FIFO: stop asserted.
+    EXPECT_FALSE(tx.canSend(t));
+    q.run(); // deliveries land; the FIFO is now full
+    EXPECT_FALSE(tx.canSend(q.now()));
+    sink.pop(); // reader drains one entry: stop released
+    EXPECT_TRUE(tx.canSend(q.now()));
+    tx.send(Symbol::makeData(3), q.now());
+    // One buffered + one in flight again: blocked until another pop.
+    const Tick t3 = q.now() + p.txTime(8);
+    q.run();
+    EXPECT_FALSE(tx.canSend(t3));
+    sink.pop();
+    EXPECT_TRUE(tx.canSend(t3));
+}
+
+TEST(LinkTx, SendWhileBlockedPanics)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 1);
+    LinkParams p;
+    LinkTx tx("t", q, p, &sink);
+    const Tick t = tx.send(Symbol::makeData(1), 0);
+    EXPECT_DEATH(tx.send(Symbol::makeData(2), t), "busy or receiver");
+}
+
+TEST(LinkTx, CountsWireBytes)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 8);
+    LinkTx tx("t", q, LinkParams{}, &sink);
+    Tick t = tx.send(Symbol::makeRoute(1), 0);
+    t = tx.send(Symbol::makeData(1), t);
+    tx.send(Symbol::makeClose(), t);
+    EXPECT_EQ(tx.bytesSent.value(), 10.0); // 1 + 8 + 1
+}
+
+TEST(LinkTx, SustainedRateIsSixtyMBps)
+{
+    sim::EventQueue q;
+    InputFifo sink("s", 1024);
+    LinkParams p;
+    p.mbps = 60.0;
+    p.latency = 0;
+    LinkTx tx("t", q, p, &sink);
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i)
+        t = tx.send(Symbol::makeData(i), t);
+    // 800 bytes at 60 MB/s = 13.33 us.
+    EXPECT_NEAR(ticksToUs(t), 800.0 / 60.0, 0.05);
+}
+
+} // namespace

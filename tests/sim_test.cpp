@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * cancellation, clock domains, statistics, and the PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace pm;
+using pm::sim::ClockDomain;
+using pm::sim::EventQueue;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(2, [&] {
+            ++fired;
+            q.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(q.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    auto id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // already cancelled
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(1234));
+}
+
+TEST(EventQueue, PendingCountsUncancelled)
+{
+    EventQueue q;
+    auto a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(ClockDomain, PeriodsAreRoundedPicoseconds)
+{
+    ClockDomain mhz60(60.0);
+    EXPECT_EQ(mhz60.period(), 16667u); // 16.666... ns
+    ClockDomain mhz180(180.0);
+    EXPECT_EQ(mhz180.period(), 5556u);
+}
+
+TEST(ClockDomain, CyclesScaleLinearly)
+{
+    ClockDomain clk(100.0); // 10 ns period
+    EXPECT_EQ(clk.period(), 10000u);
+    EXPECT_EQ(clk.cycles(0), 0u);
+    EXPECT_EQ(clk.cycles(7), 70000u);
+}
+
+TEST(ClockDomain, NextEdgeAlignsUp)
+{
+    ClockDomain clk(100.0);
+    EXPECT_EQ(clk.nextEdge(0), 0u);
+    EXPECT_EQ(clk.nextEdge(1), 10000u);
+    EXPECT_EQ(clk.nextEdge(10000), 10000u);
+    EXPECT_EQ(clk.nextEdge(10001), 20000u);
+}
+
+TEST(ClockDomain, TicksToCyclesFloors)
+{
+    ClockDomain clk(100.0);
+    EXPECT_EQ(clk.ticksToCycles(9999), 0u);
+    EXPECT_EQ(clk.ticksToCycles(10000), 1u);
+    EXPECT_EQ(clk.ticksToCycles(25000), 2u);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    sim::Scalar s("s");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.0;
+    EXPECT_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    sim::Distribution d("d");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+}
+
+TEST(Stats, EmptyDistributionIsZero)
+{
+    sim::Distribution d("d");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+}
+
+TEST(Stats, GroupDumpAndReset)
+{
+    sim::StatGroup root("root");
+    sim::Scalar s("hits", "demand hits");
+    sim::Distribution d("lat");
+    root.add(&s);
+    root.add(&d);
+    s += 3;
+    d.sample(1.0);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("root.hits 3"), std::string::npos);
+    EXPECT_NE(out.find("root.lat::count 1"), std::string::npos);
+
+    root.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Stats, NestedGroupsPrefixNames)
+{
+    sim::StatGroup root("node");
+    sim::StatGroup child("l1");
+    sim::Scalar s("misses");
+    child.add(&s);
+    root.add(&child);
+    s += 1;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("node.l1.misses 1"), std::string::npos);
+}
+
+TEST(Random, Deterministic)
+{
+    sim::SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    sim::SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BelowIsInRange)
+{
+    sim::SplitMix64 r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, UniformIsInUnitInterval)
+{
+    sim::SplitMix64 r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_DOUBLE_EQ(ticksToUs(kTicksPerUs), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(kTicksPerSec), 1.0);
+}
+
+} // namespace

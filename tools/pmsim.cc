@@ -1,0 +1,219 @@
+/**
+ * @file
+ * pmsim — command-line front end to the PowerMANNA simulator.
+ *
+ * Build any of the Table 1 machines, run a node workload or a
+ * communication measurement, and dump statistics, without writing
+ * C++:
+ *
+ *   pmsim info --machine powermanna
+ *   pmsim node --machine pc180 --workload matmult --n 256 \
+ *              --transposed --cpus 2 --stats
+ *   pmsim node --machine powermanna --workload hint --type int
+ *   pmsim comm --nodes 8 --clusters 2 --op latency --bytes 8
+ *   pmsim comm --op bibw --bytes 65536 --count 16
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "node/node.hh"
+#include "sim/logging.hh"
+#include "workloads/runner.hh"
+
+namespace {
+
+using namespace pm;
+
+/** Minimal --key value / --flag argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int from)
+    {
+        for (int i = from; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                pm_fatal("unexpected argument '%s'", argv[i]);
+            key = key.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                _kv[key] = argv[++i];
+            else
+                _kv[key] = "";
+        }
+    }
+
+    bool has(const std::string &k) const { return _kv.count(k) > 0; }
+
+    std::string
+    str(const std::string &k, const std::string &dflt) const
+    {
+        auto it = _kv.find(k);
+        return it == _kv.end() ? dflt : it->second;
+    }
+
+    unsigned
+    num(const std::string &k, unsigned dflt) const
+    {
+        auto it = _kv.find(k);
+        if (it == _kv.end())
+            return dflt;
+        return static_cast<unsigned>(std::strtoul(it->second.c_str(),
+                                                  nullptr, 0));
+    }
+
+  private:
+    std::map<std::string, std::string> _kv;
+};
+
+node::NodeParams
+machineByName(const std::string &name)
+{
+    if (name == "powermanna")
+        return machines::powerManna();
+    if (name == "sun")
+        return machines::sunUltra1();
+    if (name == "pc180")
+        return machines::pentiumPc180();
+    if (name == "pc266")
+        return machines::pentiumPc266();
+    pm_fatal("unknown machine '%s' (powermanna|sun|pc180|pc266)",
+             name.c_str());
+}
+
+int
+cmdInfo(const Args &args)
+{
+    const auto cfg = machineByName(args.str("machine", "powermanna"));
+    std::printf("%s\n", machines::describe(cfg).c_str());
+    return 0;
+}
+
+int
+cmdNode(const Args &args)
+{
+    node::NodeParams cfg = machineByName(args.str("machine", "powermanna"));
+    const unsigned cpus = args.num("cpus", 1);
+    if (cpus > cfg.numCpus)
+        cfg.numCpus = cpus;
+    node::Node node(cfg);
+
+    const std::string workload = args.str("workload", "matmult");
+    if (workload == "matmult") {
+        const unsigned n = args.num("n", 256);
+        const bool transposed = args.has("transposed");
+        const unsigned rows = args.num("rows", 24);
+        const bool independent = args.has("independent");
+        auto r = workloads::runMatMult(node, n, transposed, cpus, rows,
+                                       independent);
+        std::printf("matmult %s n=%u cpus=%u%s: %.1f MFLOPS "
+                    "(%.1f us simulated)\n",
+                    transposed ? "transposed" : "naive", n, cpus,
+                    independent ? " independent" : "", r.mflops(),
+                    ticksToUs(r.elapsed));
+    } else if (workload == "hint") {
+        workloads::HintParams hp;
+        hp.type = args.str("type", "double") == "int"
+                      ? workloads::HintType::Int
+                      : workloads::HintType::Double;
+        hp.minLog2m = args.num("minlog2", 9);
+        hp.maxLog2m = args.num("maxlog2", 18);
+        auto pts = workloads::runHint(node, hp);
+        std::printf("%12s %12s %12s\n", "wset", "QUIPS(M)", "us");
+        for (const auto &p : pts)
+            std::printf("%10lluKB %12.2f %12.1f\n",
+                        (unsigned long long)(p.workingSetBytes / 1024),
+                        p.quips() / 1e6, ticksToUs(p.elapsed));
+    } else {
+        pm_fatal("unknown workload '%s' (matmult|hint)",
+                 workload.c_str());
+    }
+
+    if (args.has("stats")) {
+        std::ostringstream os;
+        node.stats().dump(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return 0;
+}
+
+int
+cmdComm(const Args &args)
+{
+    msg::SystemParams sp;
+    sp.node = machineByName(args.str("machine", "powermanna"));
+    sp.fabric.clusters = args.num("clusters", 1);
+    sp.fabric.nodesPerCluster = args.num("nodes", 8);
+    sp.fabric.uplinksPerCluster =
+        sp.fabric.clusters > 1 ? args.num("uplinks", 4) : 0;
+    sp.fabric.ni.fifoWords = args.num("fifo", 32);
+    msg::System sys(sp);
+
+    const unsigned a = args.num("src", 0);
+    const unsigned b = args.num("dst", 1);
+    const unsigned bytes = args.num("bytes", 8);
+    const unsigned count = args.num("count", 32);
+    const std::string op = args.str("op", "latency");
+
+    if (op == "latency") {
+        std::printf("one-way latency %u B: %.2f us\n", bytes,
+                    msg::measureOneWayLatencyUs(sys, a, b, bytes));
+    } else if (op == "gap") {
+        std::printf("gap %u B: %.2f us/message\n", bytes,
+                    msg::measureGapUs(sys, a, b, bytes, count));
+    } else if (op == "unibw") {
+        std::printf("unidirectional %u B: %.1f MB/s\n", bytes,
+                    msg::measureUnidirectionalMBps(sys, a, b, bytes,
+                                                   count));
+    } else if (op == "bibw") {
+        std::printf("bidirectional %u B: %.1f MB/s total\n", bytes,
+                    msg::measureBidirectionalMBps(sys, a, b, bytes,
+                                                  count));
+    } else {
+        pm_fatal("unknown op '%s' (latency|gap|unibw|bibw)", op.c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: pmsim <info|node|comm> [--key value ...]\n"
+                 "  info --machine M\n"
+                 "  node --machine M --workload matmult|hint [--n N]\n"
+                 "       [--transposed] [--cpus C] [--rows R]\n"
+                 "       [--independent] [--type double|int] [--stats]\n"
+                 "  comm [--machine M] [--nodes N] [--clusters K]\n"
+                 "       [--fifo W] --op latency|gap|unibw|bibw\n"
+                 "       [--bytes B] [--count C] [--src S] [--dst D]\n"
+                 "machines: powermanna sun pc180 pc266\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    Args args(argc, argv, 2);
+    if (cmd == "info")
+        return cmdInfo(args);
+    if (cmd == "node")
+        return cmdNode(args);
+    if (cmd == "comm")
+        return cmdComm(args);
+    usage();
+    return 2;
+}
