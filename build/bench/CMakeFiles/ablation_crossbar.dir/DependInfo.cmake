@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_crossbar.cpp" "bench/CMakeFiles/ablation_crossbar.dir/ablation_crossbar.cpp.o" "gcc" "bench/CMakeFiles/ablation_crossbar.dir/ablation_crossbar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

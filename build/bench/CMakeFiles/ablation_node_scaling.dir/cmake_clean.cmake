@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node_scaling.dir/ablation_node_scaling.cpp.o"
+  "CMakeFiles/ablation_node_scaling.dir/ablation_node_scaling.cpp.o.d"
+  "ablation_node_scaling"
+  "ablation_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_earth_overheads.dir/ext_earth_overheads.cpp.o"
+  "CMakeFiles/ext_earth_overheads.dir/ext_earth_overheads.cpp.o.d"
+  "ext_earth_overheads"
+  "ext_earth_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_earth_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

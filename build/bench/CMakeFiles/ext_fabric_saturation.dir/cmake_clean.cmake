@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fabric_saturation.dir/ext_fabric_saturation.cpp.o"
+  "CMakeFiles/ext_fabric_saturation.dir/ext_fabric_saturation.cpp.o.d"
+  "ext_fabric_saturation"
+  "ext_fabric_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fabric_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_unidir_bw.dir/fig11_unidir_bw.cpp.o"
+  "CMakeFiles/fig11_unidir_bw.dir/fig11_unidir_bw.cpp.o.d"
+  "fig11_unidir_bw"
+  "fig11_unidir_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_unidir_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

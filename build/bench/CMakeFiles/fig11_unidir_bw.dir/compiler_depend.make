@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_unidir_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bidir_bw.dir/fig12_bidir_bw.cpp.o"
+  "CMakeFiles/fig12_bidir_bw.dir/fig12_bidir_bw.cpp.o.d"
+  "fig12_bidir_bw"
+  "fig12_bidir_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bidir_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hint.dir/fig6_hint.cpp.o"
+  "CMakeFiles/fig6_hint.dir/fig6_hint.cpp.o.d"
+  "fig6_hint"
+  "fig6_hint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_hint.
+# This may be replaced when dependencies are built.

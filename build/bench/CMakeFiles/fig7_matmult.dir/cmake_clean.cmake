@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_matmult.dir/fig7_matmult.cpp.o"
+  "CMakeFiles/fig7_matmult.dir/fig7_matmult.cpp.o.d"
+  "fig7_matmult"
+  "fig7_matmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_matmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

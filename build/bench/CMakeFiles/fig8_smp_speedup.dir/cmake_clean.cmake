@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_smp_speedup.dir/fig8_smp_speedup.cpp.o"
+  "CMakeFiles/fig8_smp_speedup.dir/fig8_smp_speedup.cpp.o.d"
+  "fig8_smp_speedup"
+  "fig8_smp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_smp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce.dir/allreduce.cpp.o"
+  "CMakeFiles/allreduce.dir/allreduce.cpp.o.d"
+  "allreduce"
+  "allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earth_tree_sum.dir/earth_tree_sum.cpp.o"
+  "CMakeFiles/earth_tree_sum.dir/earth_tree_sum.cpp.o.d"
+  "earth_tree_sum"
+  "earth_tree_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earth_tree_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

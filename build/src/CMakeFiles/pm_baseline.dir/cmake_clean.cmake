@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_baseline.dir/baseline/usercomm.cc.o"
+  "CMakeFiles/pm_baseline.dir/baseline/usercomm.cc.o.d"
+  "libpm_baseline.a"
+  "libpm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

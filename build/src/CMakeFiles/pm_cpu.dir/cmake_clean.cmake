@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_cpu.dir/cpu/proc.cc.o"
+  "CMakeFiles/pm_cpu.dir/cpu/proc.cc.o.d"
+  "CMakeFiles/pm_cpu.dir/cpu/sched.cc.o"
+  "CMakeFiles/pm_cpu.dir/cpu/sched.cc.o.d"
+  "libpm_cpu.a"
+  "libpm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

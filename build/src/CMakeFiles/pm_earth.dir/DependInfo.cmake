@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/earth/runtime.cc" "src/CMakeFiles/pm_earth.dir/earth/runtime.cc.o" "gcc" "src/CMakeFiles/pm_earth.dir/earth/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_earth.dir/earth/runtime.cc.o"
+  "CMakeFiles/pm_earth.dir/earth/runtime.cc.o.d"
+  "libpm_earth.a"
+  "libpm_earth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_earth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

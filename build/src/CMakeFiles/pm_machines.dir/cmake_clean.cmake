@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_machines.dir/machines/machines.cc.o"
+  "CMakeFiles/pm_machines.dir/machines/machines.cc.o.d"
+  "libpm_machines.a"
+  "libpm_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

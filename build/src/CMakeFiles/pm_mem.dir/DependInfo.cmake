@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/pm_mem.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/pm_mem.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/pm_mem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/pm_mem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/req.cc" "src/CMakeFiles/pm_mem.dir/mem/req.cc.o" "gcc" "src/CMakeFiles/pm_mem.dir/mem/req.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_mem.dir/mem/bus.cc.o"
+  "CMakeFiles/pm_mem.dir/mem/bus.cc.o.d"
+  "CMakeFiles/pm_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/pm_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/pm_mem.dir/mem/req.cc.o"
+  "CMakeFiles/pm_mem.dir/mem/req.cc.o.d"
+  "libpm_mem.a"
+  "libpm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

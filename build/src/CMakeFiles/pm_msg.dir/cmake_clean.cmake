@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_msg.dir/msg/collectives.cc.o"
+  "CMakeFiles/pm_msg.dir/msg/collectives.cc.o.d"
+  "CMakeFiles/pm_msg.dir/msg/driver.cc.o"
+  "CMakeFiles/pm_msg.dir/msg/driver.cc.o.d"
+  "CMakeFiles/pm_msg.dir/msg/probes.cc.o"
+  "CMakeFiles/pm_msg.dir/msg/probes.cc.o.d"
+  "CMakeFiles/pm_msg.dir/msg/system.cc.o"
+  "CMakeFiles/pm_msg.dir/msg/system.cc.o.d"
+  "libpm_msg.a"
+  "libpm_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/crossbar.cc" "src/CMakeFiles/pm_net.dir/net/crossbar.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/net/crossbar.cc.o.d"
+  "/root/repo/src/net/injector.cc" "src/CMakeFiles/pm_net.dir/net/injector.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/net/injector.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/pm_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/net/topology.cc.o.d"
+  "/root/repo/src/net/transceiver.cc" "src/CMakeFiles/pm_net.dir/net/transceiver.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/net/transceiver.cc.o.d"
+  "/root/repo/src/ni/crc32.cc" "src/CMakeFiles/pm_net.dir/ni/crc32.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/ni/crc32.cc.o.d"
+  "/root/repo/src/ni/linkinterface.cc" "src/CMakeFiles/pm_net.dir/ni/linkinterface.cc.o" "gcc" "src/CMakeFiles/pm_net.dir/ni/linkinterface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_net.dir/net/crossbar.cc.o"
+  "CMakeFiles/pm_net.dir/net/crossbar.cc.o.d"
+  "CMakeFiles/pm_net.dir/net/injector.cc.o"
+  "CMakeFiles/pm_net.dir/net/injector.cc.o.d"
+  "CMakeFiles/pm_net.dir/net/topology.cc.o"
+  "CMakeFiles/pm_net.dir/net/topology.cc.o.d"
+  "CMakeFiles/pm_net.dir/net/transceiver.cc.o"
+  "CMakeFiles/pm_net.dir/net/transceiver.cc.o.d"
+  "CMakeFiles/pm_net.dir/ni/crc32.cc.o"
+  "CMakeFiles/pm_net.dir/ni/crc32.cc.o.d"
+  "CMakeFiles/pm_net.dir/ni/linkinterface.cc.o"
+  "CMakeFiles/pm_net.dir/ni/linkinterface.cc.o.d"
+  "libpm_net.a"
+  "libpm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_node.dir/node/node.cc.o"
+  "CMakeFiles/pm_node.dir/node/node.cc.o.d"
+  "libpm_node.a"
+  "libpm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_sim.dir/sim/event.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/event.cc.o.d"
+  "CMakeFiles/pm_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/pm_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/pm_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/trace.cc.o.d"
+  "libpm_sim.a"
+  "libpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

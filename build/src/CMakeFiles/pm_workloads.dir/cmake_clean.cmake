@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_workloads.dir/workloads/hint.cc.o"
+  "CMakeFiles/pm_workloads.dir/workloads/hint.cc.o.d"
+  "CMakeFiles/pm_workloads.dir/workloads/matmult.cc.o"
+  "CMakeFiles/pm_workloads.dir/workloads/matmult.cc.o.d"
+  "CMakeFiles/pm_workloads.dir/workloads/runner.cc.o"
+  "CMakeFiles/pm_workloads.dir/workloads/runner.cc.o.d"
+  "libpm_workloads.a"
+  "libpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_machines_test.cpp" "tests/CMakeFiles/pm_tests.dir/baseline_machines_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/baseline_machines_test.cpp.o.d"
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/pm_tests.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/earth_test.cpp" "tests/CMakeFiles/pm_tests.dir/earth_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/earth_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/pm_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mem_bus_test.cpp" "tests/CMakeFiles/pm_tests.dir/mem_bus_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/mem_bus_test.cpp.o.d"
+  "/root/repo/tests/mem_cache_test.cpp" "tests/CMakeFiles/pm_tests.dir/mem_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/mem_cache_test.cpp.o.d"
+  "/root/repo/tests/mem_mesi_property_test.cpp" "tests/CMakeFiles/pm_tests.dir/mem_mesi_property_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/mem_mesi_property_test.cpp.o.d"
+  "/root/repo/tests/mem_resource_test.cpp" "tests/CMakeFiles/pm_tests.dir/mem_resource_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/mem_resource_test.cpp.o.d"
+  "/root/repo/tests/msg_collectives_test.cpp" "tests/CMakeFiles/pm_tests.dir/msg_collectives_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/msg_collectives_test.cpp.o.d"
+  "/root/repo/tests/msg_driver_test.cpp" "tests/CMakeFiles/pm_tests.dir/msg_driver_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/msg_driver_test.cpp.o.d"
+  "/root/repo/tests/net_crossbar_test.cpp" "tests/CMakeFiles/pm_tests.dir/net_crossbar_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/net_crossbar_test.cpp.o.d"
+  "/root/repo/tests/net_injector_test.cpp" "tests/CMakeFiles/pm_tests.dir/net_injector_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/net_injector_test.cpp.o.d"
+  "/root/repo/tests/net_link_test.cpp" "tests/CMakeFiles/pm_tests.dir/net_link_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/net_link_test.cpp.o.d"
+  "/root/repo/tests/net_property_test.cpp" "tests/CMakeFiles/pm_tests.dir/net_property_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/net_property_test.cpp.o.d"
+  "/root/repo/tests/net_topology_test.cpp" "tests/CMakeFiles/pm_tests.dir/net_topology_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/net_topology_test.cpp.o.d"
+  "/root/repo/tests/ni_test.cpp" "tests/CMakeFiles/pm_tests.dir/ni_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/ni_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/pm_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/pm_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/pm_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmsim.dir/pmsim.cc.o"
+  "CMakeFiles/pmsim.dir/pmsim.cc.o.d"
+  "pmsim"
+  "pmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
