@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/resource.hh"
@@ -18,6 +22,10 @@
 namespace {
 
 using namespace pm;
+
+/** Whatever handle type schedule() returns (kernel-version agnostic). */
+using EventHandle = decltype(std::declval<sim::EventQueue &>().schedule(
+    Tick{0}, std::function<void()>{}));
 
 void
 BM_EventQueueScheduleRun(benchmark::State &state)
@@ -33,6 +41,65 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+/**
+ * The PmComm driver pattern: a deep queue of pending events where most
+ * scheduled events are superseded (cancelled and rescheduled) before
+ * they fire. The schedule:cancel ratio is ~2:1 — every pending event is
+ * cancelled and re-posted once — against `range(0)` pending events.
+ */
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        std::vector<EventHandle> ids;
+        ids.reserve(n);
+        for (int i = 0; i < n; ++i)
+            ids.push_back(
+                q.schedule(static_cast<Tick>(1000 + i), [&] { ++sink; }));
+        // Supersede every pending event, driver-style.
+        for (int i = 0; i < n; ++i) {
+            benchmark::DoNotOptimize(q.cancel(ids[i]));
+            ids[i] =
+                q.schedule(static_cast<Tick>(2000 + i), [&] { ++sink; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    // Each pending event is scheduled twice, cancelled once, run once.
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(10000);
+
+/**
+ * Steady state of a long whole-system run: `range(0)` periodic
+ * components, each rescheduling itself, with a sprinkle of one-shot
+ * events — no queue growth, pure per-event kernel overhead.
+ */
+void
+BM_EventQueuePeriodicSteadyState(benchmark::State &state)
+{
+    const int components = static_cast<int>(state.range(0));
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    std::function<void(int)> tickFn = [&](int i) {
+        ++sink;
+        q.scheduleIn(static_cast<Tick>(50 + i % 17), [&tickFn, i] {
+            tickFn(i);
+        });
+    };
+    for (int i = 0; i < components; ++i)
+        q.schedule(static_cast<Tick>(i % 31), [&tickFn, i] { tickFn(i); });
+    for (auto _ : state) {
+        q.step();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePeriodicSteadyState)->Arg(64)->Arg(4096);
 
 void
 BM_CacheHitAccess(benchmark::State &state)

@@ -31,8 +31,8 @@ NodeRt::NodeRt(Runtime &rt, unsigned nodeId)
 
 NodeRt::~NodeRt()
 {
-    if (_euQueued)
-        _rt.system().queue().cancel(_euEventId);
+    // Harmlessly returns false if the EU step already ran.
+    _rt.system().queue().cancel(_euEvent);
 }
 
 cpu::Proc &
@@ -218,15 +218,11 @@ NodeRt::handleToken(std::vector<std::uint64_t> w)
 void
 NodeRt::scheduleEu()
 {
-    if (_euQueued || _ready.empty())
-        return;
-    _euQueued = true;
     auto &queue = _rt.system().queue();
+    if (queue.scheduled(_euEvent) || _ready.empty())
+        return;
     const Tick when = std::max(queue.now(), proc().time());
-    _euEventId = queue.schedule(when, [this] {
-        _euQueued = false;
-        euStep();
-    });
+    _euEvent = queue.schedule(when, [this] { euStep(); });
 }
 
 void
@@ -277,7 +273,7 @@ Runtime::quiescent() const
     if (_inFlight > 0)
         return false;
     for (const auto &n : _nodes)
-        if (!n->_ready.empty() || n->_euQueued)
+        if (!n->_ready.empty() || _sys.queue().scheduled(n->_euEvent))
             return false;
     return true;
 }

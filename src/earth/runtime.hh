@@ -37,6 +37,7 @@
 
 #include "msg/driver.hh"
 #include "msg/system.hh"
+#include "sim/event.hh"
 #include "sim/stats.hh"
 
 namespace pm::earth {
@@ -146,8 +147,7 @@ class NodeRt
     std::map<Addr, std::uint64_t> _memory; //!< This node's global slice.
     std::map<std::uint32_t, std::uint64_t *> _getDest;
     std::uint32_t _nextGet = 1;
-    bool _euQueued = false;
-    std::uint64_t _euEventId = 0;
+    sim::EventHandle _euEvent; //!< Live while an EU step is queued.
 
     void armReceiver();
     void handleToken(std::vector<std::uint64_t> token);

@@ -47,8 +47,8 @@ PmComm::postRecv(RecvCallback onDone, Addr dstAddr)
 
 PmComm::~PmComm()
 {
-    if (_engineQueued)
-        _sys.queue().cancel(_engineEventId);
+    // Harmlessly returns false if the engine already ran.
+    _sys.queue().cancel(_engineEvent);
 }
 
 void
@@ -63,13 +63,9 @@ PmComm::kick()
 void
 PmComm::scheduleEngine(Tick when)
 {
-    if (_engineQueued)
+    if (_sys.queue().scheduled(_engineEvent))
         return;
-    _engineQueued = true;
-    _engineEventId = _sys.queue().schedule(when, [this] {
-        _engineQueued = false;
-        engine();
-    });
+    _engineEvent = _sys.queue().schedule(when, [this] { engine(); });
 }
 
 /**

@@ -33,6 +33,7 @@
 #include "cpu/proc.hh"
 #include "msg/system.hh"
 #include "ni/linkinterface.hh"
+#include "sim/event.hh"
 #include "sim/stats.hh"
 
 namespace pm::msg {
@@ -134,8 +135,7 @@ class PmComm
     std::deque<SendOp> _sends;
     std::deque<RecvOp> _recvs;
     std::uint64_t _recvsPosted = 0;
-    bool _engineQueued = false;
-    std::uint64_t _engineEventId = 0;
+    sim::EventHandle _engineEvent; //!< Live while the engine is queued.
 
     void kick();
     void scheduleEngine(Tick when);

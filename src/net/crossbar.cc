@@ -68,17 +68,13 @@ void
 Crossbar::schedulePumpAt(unsigned i, Tick when)
 {
     Input &in = _in[i];
-    if (in.pumpPending) {
+    if (_queue.scheduled(in.pumpEvent)) {
         if (in.pumpAt <= when)
             return; // an earlier (or equal) pump already covers this
-        _queue.cancel(in.pumpEventId);
+        _queue.cancel(in.pumpEvent);
     }
-    in.pumpPending = true;
     in.pumpAt = when;
-    in.pumpEventId = _queue.schedule(when, [this, i] {
-        _in[i].pumpPending = false;
-        pump(i);
-    });
+    in.pumpEvent = _queue.schedule(when, [this, i] { pump(i); });
 }
 
 void

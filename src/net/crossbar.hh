@@ -76,9 +76,8 @@ class Crossbar
         std::unique_ptr<InputFifo> fifo;
         int target = -1; //!< Routed output channel, -1 when unrouted.
         bool waiting = false; //!< Parked on a busy output's wait list.
-        bool pumpPending = false; //!< A pump event is scheduled.
+        sim::EventHandle pumpEvent; //!< Live while a pump is scheduled.
         Tick pumpAt = 0; //!< When it will fire.
-        std::uint64_t pumpEventId = 0; //!< For rescheduling earlier.
     };
 
     struct Output

@@ -120,12 +120,19 @@ class InputFifo : public SymbolSink
         return s;
     }
 
-    /** Drop all contents (reset between runs). */
+    /**
+     * Drop all contents *and* all registered callbacks (reset between
+     * runs). Deliberately does NOT fire the space callbacks: waking a
+     * throttled sender into a torn-down configuration re-enters
+     * elements mid-reset with stale state. Owners that rely on the
+     * persistent fill callback must re-register it after clear().
+     */
     void
     clear()
     {
         _q.clear();
-        notifySpace();
+        _spaceCbs.clear();
+        _fillCb = nullptr;
     }
 
     sim::Scalar maxOccupancy{"max_occupancy", "peak buffered symbols"};

@@ -45,17 +45,13 @@ Transceiver::schedulePump()
 void
 Transceiver::schedulePumpAt(Tick when)
 {
-    if (_pumpPending) {
+    if (_queue.scheduled(_pumpEvent)) {
         if (_pumpAt <= when)
             return;
-        _queue.cancel(_pumpEventId);
+        _queue.cancel(_pumpEvent);
     }
-    _pumpPending = true;
     _pumpAt = when;
-    _pumpEventId = _queue.schedule(when, [this] {
-        _pumpPending = false;
-        pump();
-    });
+    _pumpEvent = _queue.schedule(when, [this] { pump(); });
 }
 
 void

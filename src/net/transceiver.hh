@@ -50,9 +50,8 @@ class Transceiver
     sim::EventQueue &_queue;
     InputFifo _in;
     std::unique_ptr<LinkTx> _tx;
-    bool _pumpPending = false;
+    sim::EventHandle _pumpEvent; //!< Live while a pump is scheduled.
     Tick _pumpAt = 0;
-    std::uint64_t _pumpEventId = 0;
 
     void pump();
     void schedulePump();

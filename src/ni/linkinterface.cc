@@ -94,17 +94,13 @@ LinkInterface::schedulePumpAt(Tick when)
 {
     // At most one pump event is ever outstanding; an earlier request
     // supersedes a later one.
-    if (_pumpPending) {
+    if (_queue.scheduled(_pumpEvent)) {
         if (_pumpAt <= when)
             return;
-        _queue.cancel(_pumpEventId);
+        _queue.cancel(_pumpEvent);
     }
-    _pumpPending = true;
     _pumpAt = when;
-    _pumpEventId = _queue.schedule(when, [this] {
-        _pumpPending = false;
-        pump();
-    });
+    _pumpEvent = _queue.schedule(when, [this] { pump(); });
 }
 
 void

@@ -118,9 +118,8 @@ class LinkInterface
     // Send side.
     std::deque<SendEntry> _sendFifo;
     std::unique_ptr<net::LinkTx> _tx;
-    bool _pumpPending = false;
+    sim::EventHandle _pumpEvent; //!< Live while a pump is scheduled.
     Tick _pumpAt = 0;
-    std::uint64_t _pumpEventId = 0;
     bool _crcPendingClose = false; //!< CRC word sent; close follows.
     bool _txAnyData = false;
     Crc32 _crcTx;

@@ -1,72 +1,95 @@
 #include "sim/event.hh"
 
-#include <algorithm>
+#include <limits>
 
 #include "sim/logging.hh"
 
 namespace pm::sim {
 
-std::uint64_t
+std::uint32_t
+EventQueue::allocRecord()
+{
+    if (_freeHead != kNoFree) {
+        const std::uint32_t slot = _freeHead;
+        _freeHead = _slab[slot].nextFree;
+        return slot;
+    }
+    if (_slab.size() >= std::numeric_limits<std::uint32_t>::max())
+        pm_panic("event queue: slab exhausted (%zu live events)",
+                 _slab.size());
+    _slab.emplace_back();
+    return static_cast<std::uint32_t>(_slab.size() - 1);
+}
+
+void
+EventQueue::freeRecord(std::uint32_t slot)
+{
+    Record &rec = _slab[slot];
+    rec.state = Record::State::Free;
+    rec.fn.reset();
+    rec.nextFree = _freeHead;
+    _freeHead = slot;
+}
+
+EventHandle
 EventQueue::schedule(Tick when, EventFn fn)
 {
     if (when < _now)
         pm_panic("scheduling event in the past (when=%llu now=%llu)",
                  (unsigned long long)when, (unsigned long long)_now);
-    const std::uint64_t id = _nextSeq++;
-    _heap.push(Entry{when, id, std::move(fn)});
-    return id;
+    const std::uint64_t seq = _nextSeq++;
+    const std::uint32_t slot = allocRecord();
+    Record &rec = _slab[slot];
+    rec.seq = seq;
+    rec.state = Record::State::Pending;
+    rec.fn = std::move(fn);
+    _heap.push(HeapEntry{when, seq, slot});
+    return EventHandle{slot, seq};
 }
 
 bool
-EventQueue::cancel(std::uint64_t id)
+EventQueue::cancel(EventHandle h)
 {
-    if (id >= _nextSeq)
+    if (h._slot >= _slab.size())
         return false;
-    if (isCancelled(id))
+    Record &rec = _slab[h._slot];
+    // The seq check rejects handles to executed events whose slot has
+    // been recycled; the state check rejects executed/cancelled events
+    // whose slot has not. Either way: O(1), no side effects.
+    if (rec.state != Record::State::Pending || rec.seq != h._seq)
         return false;
-    // We cannot remove from the middle of a binary heap cheaply; record
-    // the id and skip the entry when it surfaces.
-    _cancelledIds.push_back(id);
+    rec.state = Record::State::Cancelled;
+    rec.fn.reset(); // release captured resources eagerly
     ++_cancelled;
+    ++_cancelledTotal;
     return true;
-}
-
-bool
-EventQueue::isCancelled(std::uint64_t seq) const
-{
-    return std::find(_cancelledIds.begin(), _cancelledIds.end(), seq) !=
-           _cancelledIds.end();
-}
-
-void
-EventQueue::forgetCancelled(std::uint64_t seq)
-{
-    auto it = std::find(_cancelledIds.begin(), _cancelledIds.end(), seq);
-    if (it != _cancelledIds.end()) {
-        _cancelledIds.erase(it);
-        --_cancelled;
-    }
 }
 
 bool
 EventQueue::step(Tick limit)
 {
     while (!_heap.empty()) {
-        const Entry &top = _heap.top();
+        const HeapEntry top = _heap.top();
         if (top.when > limit)
             return false;
-        if (isCancelled(top.seq)) {
-            forgetCancelled(top.seq);
+        Record &rec = _slab[top.slot];
+        // Each record has exactly one heap entry, so the seqs always
+        // match here; the record is either pending or a tombstone.
+        if (rec.state == Record::State::Cancelled) {
+            --_cancelled;
+            freeRecord(top.slot);
             _heap.pop();
             continue;
         }
-        // Move the callback out before popping: the callback may
-        // schedule new events, which mutates the heap.
-        Entry entry{top.when, top.seq, std::move(const_cast<Entry &>(top).fn)};
+        // Move the callback out of the slab before running it: the
+        // callback may schedule new events, which can grow the slab and
+        // recycle this very slot.
+        EventFn fn = std::move(rec.fn);
+        freeRecord(top.slot);
         _heap.pop();
-        _now = entry.when;
+        _now = top.when;
         ++_executed;
-        entry.fn();
+        fn();
         return true;
     }
     return false;

@@ -58,13 +58,20 @@ class Distribution
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
-    /** Record one sample. */
+    /**
+     * Record one sample. Uses Welford's online update: the naive
+     * sum-of-squares formula cancels catastrophically for large-mean,
+     * small-spread samples (e.g. latencies around 1e9 ticks), even
+     * going negative.
+     */
     void
     sample(double v)
     {
         ++_count;
         _sum += v;
-        _sumSq += v * v;
+        const double delta = v - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (v - _mean);
         _min = std::min(_min, v);
         _max = std::max(_max, v);
     }
@@ -73,23 +80,21 @@ class Distribution
     double sum() const { return _sum; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double mean() const { return _count ? _mean : 0.0; }
 
-    /** Population variance. */
+    /** Population variance (never negative). */
     double
     variance() const
     {
-        if (_count == 0)
-            return 0.0;
-        const double m = mean();
-        return _sumSq / _count - m * m;
+        return _count ? std::max(_m2 / static_cast<double>(_count), 0.0)
+                      : 0.0;
     }
 
     void
     reset()
     {
         _count = 0;
-        _sum = _sumSq = 0.0;
+        _sum = _mean = _m2 = 0.0;
         _min = std::numeric_limits<double>::infinity();
         _max = -std::numeric_limits<double>::infinity();
     }
@@ -99,7 +104,8 @@ class Distribution
     std::string _desc;
     std::uint64_t _count = 0;
     double _sum = 0.0;
-    double _sumSq = 0.0;
+    double _mean = 0.0; //!< Welford running mean.
+    double _m2 = 0.0; //!< Welford sum of squared deviations.
     double _min = std::numeric_limits<double>::infinity();
     double _max = -std::numeric_limits<double>::infinity();
 };

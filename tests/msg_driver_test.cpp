@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "machines/machines.hh"
 #include "msg/driver.hh"
@@ -209,6 +211,50 @@ TEST(Probes, GapBelowLatency)
     const double lat = measureOneWayLatencyUs(sys, 0, 1, 8, 4);
     const double gap = measureGapUs(sys, 0, 1, 8, 16);
     EXPECT_LT(gap, lat);
+}
+
+/**
+ * Run a fixed two-node duplex send/recv scenario on a fresh System and
+ * return a fingerprint of everything observable: executed-event count,
+ * final tick, per-endpoint message counters, and the NI stat dumps.
+ */
+std::string
+runDeterminismScenario()
+{
+    System sys(smallSystem());
+    sys.resetForRun();
+    PmComm a(sys, 0), b(sys, 1);
+    unsigned done = 0;
+    for (unsigned m = 0; m < 4; ++m) {
+        a.postSend(1, makePayload(256, m + 1));
+        b.postRecv([&](std::vector<std::uint64_t>, bool) { ++done; });
+        b.postSend(0, makePayload(64, m + 17));
+        a.postRecv([&](std::vector<std::uint64_t>, bool) { ++done; });
+    }
+    while (done < 8 && sys.queue().step()) {
+    }
+    std::ostringstream os;
+    os << "executed=" << sys.queue().executed()
+       << " now=" << sys.queue().now()
+       << " pending=" << sys.queue().pending()
+       << " aSent=" << a.messagesSent.value()
+       << " bSent=" << b.messagesSent.value()
+       << " aRecv=" << a.messagesReceived.value()
+       << " bRecv=" << b.messagesReceived.value() << "\n";
+    sys.ni(0).stats().dump(os);
+    sys.ni(1).stats().dump(os);
+    return os.str();
+}
+
+TEST(System, TwoNodeRunsAreBitForBitDeterministic)
+{
+    // The EventQueue header promises FIFO delivery of same-tick events
+    // (deterministic tie-break). Two identical whole-system runs must
+    // agree on every event count, the final tick, and the stats dump.
+    const std::string first = runDeterminismScenario();
+    const std::string second = runDeterminismScenario();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
 }
 
 TEST(System, ResetForRunClearsState)

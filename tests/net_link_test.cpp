@@ -87,6 +87,29 @@ TEST(InputFifo, FillCallbackFiresOnEveryPush)
     EXPECT_EQ(fills, 2);
 }
 
+TEST(InputFifo, ClearFiresNoCallbacksAndDropsThem)
+{
+    // Regression: clear() used to notify throttled senders, waking them
+    // into a torn-down configuration mid-reset. It must drop both the
+    // one-shot space callbacks and the persistent fill callback without
+    // invoking anything.
+    InputFifo f("f", 1);
+    f.push(Symbol::makeData(1), 0);
+    int spaceFired = 0, fillFired = 0;
+    f.onSpace([&] { ++spaceFired; });
+    f.setFillCallback([&] { ++fillFired; });
+    f.clear();
+    EXPECT_EQ(spaceFired, 0);
+    EXPECT_EQ(fillFired, 0);
+    EXPECT_TRUE(f.empty());
+    // The stale fill callback must not fire for post-reset traffic.
+    f.push(Symbol::makeData(2), 0);
+    EXPECT_EQ(fillFired, 0);
+    // And a stale one-shot must not fire on post-reset drains.
+    f.pop();
+    EXPECT_EQ(spaceFired, 0);
+}
+
 TEST(InputFifo, TracksPeakOccupancy)
 {
     InputFifo f("f", 4);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -92,10 +93,173 @@ TEST(EventQueue, CancelPreventsExecution)
     EXPECT_EQ(fired, 1);
 }
 
-TEST(EventQueue, CancelUnknownIdFails)
+TEST(EventQueue, CancelInvalidHandleFails)
 {
     EventQueue q;
-    EXPECT_FALSE(q.cancel(1234));
+    sim::EventHandle h; // default-constructed: invalid
+    EXPECT_FALSE(h.valid());
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_FALSE(q.scheduled(h));
+}
+
+TEST(EventQueue, CancelAfterExecuteFailsAndKeepsPendingConsistent)
+{
+    // Regression: the old kernel accepted a cancel of an id that had
+    // already run, underflowing pending() (size_t wrap) and wedging
+    // empty()/run().
+    EventQueue q;
+    int fired = 0;
+    auto h = q.schedule(10, [&] { ++fired; });
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.scheduled(h));
+    EXPECT_FALSE(q.cancel(h)); // must reject: already executed
+    EXPECT_EQ(q.pending(), 0u); // and never underflow
+    EXPECT_TRUE(q.empty());
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DoubleCancelFails)
+{
+    EventQueue q;
+    int fired = 0;
+    auto h = q.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, StaleHandleToRecycledSlotFails)
+{
+    // A handle outlives its event; its slab slot is recycled by later
+    // schedulings. The stale handle must not cancel the new occupant.
+    EventQueue q;
+    int first = 0, second = 0;
+    auto stale = q.schedule(10, [&] { ++first; });
+    q.run();
+    EXPECT_EQ(first, 1);
+    auto fresh = q.schedule(20, [&] { ++second; }); // recycles the slot
+    EXPECT_NE(stale.id(), fresh.id());
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_TRUE(q.scheduled(fresh));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueue, PendingAndEmptyStayConsistentUnderChurn)
+{
+    EventQueue q;
+    std::vector<sim::EventHandle> hs;
+    for (int i = 0; i < 100; ++i)
+        hs.push_back(q.schedule(static_cast<Tick>(10 + i), [] {}));
+    EXPECT_EQ(q.pending(), 100u);
+    for (int i = 0; i < 100; i += 2)
+        EXPECT_TRUE(q.cancel(hs[i]));
+    EXPECT_EQ(q.pending(), 50u);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.run(), 50u);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+    for (auto &h : hs)
+        EXPECT_FALSE(q.cancel(h)); // executed or already cancelled
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesInterleavedCancels)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<sim::EventHandle> hs;
+    for (int i = 0; i < 8; ++i)
+        hs.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+    q.cancel(hs[0]);
+    q.cancel(hs[3]);
+    q.cancel(hs[7]);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 6}));
+}
+
+TEST(EventQueue, RunLimitLeavesNowAtLastExecutedEvent)
+{
+    // now() must never exceed the run limit, and draining cancelled
+    // tombstones must not advance it.
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    auto h = q.schedule(40, [&] { ++fired; });
+    q.schedule(90, [&] { ++fired; });
+    q.cancel(h);
+    EXPECT_EQ(q.run(50), 1u); // executes tick 10; tick-40 is a tombstone
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(q.now(), 90u);
+    // Fully drained queue with only tombstones left behind.
+    auto h2 = q.schedule(200, [&] { ++fired; });
+    q.cancel(h2);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.run(), 0u);
+    EXPECT_EQ(q.now(), 90u); // unchanged: nothing executed
+}
+
+TEST(EventQueue, SlabSlotsAreRecycled)
+{
+    // Steady-state scheduling must reuse slab records instead of
+    // growing — the allocation-free guarantee.
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(static_cast<Tick>(i), [&] { ++sink; });
+    q.run();
+    const std::size_t watermark = q.slabSize();
+    for (int round = 0; round < 64; ++round) {
+        for (int i = 0; i < 4; ++i)
+            q.scheduleIn(static_cast<Tick>(1 + i), [&] { ++sink; });
+        q.run();
+    }
+    EXPECT_EQ(q.slabSize(), watermark);
+    EXPECT_EQ(sink, 4 + 64 * 4);
+}
+
+TEST(EventQueue, MoveOnlyAndLargeCapturesWork)
+{
+    EventQueue q;
+    // Move-only capture (std::function would reject this).
+    auto ptr = std::make_unique<int>(41);
+    int got = 0;
+    q.schedule(1, [p = std::move(ptr), &got] { got = *p + 1; });
+    // Capture larger than the inline buffer: heap fallback path.
+    struct Big
+    {
+        std::uint64_t words[16] = {};
+    } big;
+    big.words[15] = 7;
+    std::uint64_t gotBig = 0;
+    static_assert(sizeof(Big) > sim::EventFn::kInlineBytes);
+    q.schedule(2, [big, &gotBig] { gotBig = big.words[15]; });
+    q.run();
+    EXPECT_EQ(got, 42);
+    EXPECT_EQ(gotBig, 7u);
+}
+
+TEST(EventQueue, CancelReleasesCapturedResourcesEagerly)
+{
+    EventQueue q;
+    auto alive = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = alive;
+    auto h = q.schedule(10, [keep = std::move(alive)] { (void)keep; });
+    EXPECT_FALSE(watch.expired());
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_TRUE(watch.expired()); // capture destroyed at cancel time
 }
 
 TEST(EventQueue, PendingCountsUncancelled)
@@ -177,6 +341,27 @@ TEST(Stats, DistributionMoments)
     EXPECT_DOUBLE_EQ(d.min(), 2.0);
     EXPECT_DOUBLE_EQ(d.max(), 9.0);
     EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+}
+
+TEST(Stats, VarianceIsExactForOffsetSamples)
+{
+    // Regression: the old sum-of-squares variance cancels
+    // catastrophically when the mean dwarfs the spread — exactly the
+    // latency-in-ticks regime (~1e9). Welford's update must recover
+    // the exact variance of mean-shifted samples.
+    sim::Distribution d("lat");
+    const double base = 1e9;
+    for (double off : {1.0, 2.0, 3.0})
+        d.sample(base + off);
+    EXPECT_DOUBLE_EQ(d.mean(), base + 2.0);
+    EXPECT_NEAR(d.variance(), 2.0 / 3.0, 1e-9);
+
+    // Same shape, bigger offset: must stay exact and non-negative.
+    d.reset();
+    for (double off : {5.0, 5.0, 9.0, 9.0})
+        d.sample(1e12 + off);
+    EXPECT_NEAR(d.variance(), 4.0, 1e-3);
+    EXPECT_GE(d.variance(), 0.0);
 }
 
 TEST(Stats, EmptyDistributionIsZero)
