@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension bench: reliable delivery under injected faults.
+ *
+ * Sweeps the per-bit error rate of every link in a two-node system
+ * and reports effective goodput plus the recovery work (retransmits,
+ * CRC drops, NACKs) the go-back-N driver performed to keep delivery
+ * exactly-once. The first row (BER 0) doubles as the zero-fault
+ * overhead check: its Figure 9 latency and Figure 11 bandwidth must
+ * match the fault-free paper anchors (2.75 us, 59.9 MB/s) — the
+ * reliability protocol rides in the existing header word and costs
+ * nothing when nothing goes wrong.
+ */
+
+#include <cstdio>
+
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace pm;
+
+msg::SystemParams
+baseParams()
+{
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 2;
+    return sp;
+}
+
+void
+sweepBer()
+{
+    std::printf("\n-- goodput vs bit-error rate (1024 x 256 B, "
+                "exactly-once delivery) --\n");
+    std::printf("%10s %12s %10s %10s %10s %10s %8s\n", "BER",
+                "goodput MB/s", "retrans", "crcdrop", "nack", "timeout",
+                "intact");
+
+    for (double ber : {0.0, 1e-7, 1e-6, 1e-5, 1e-4, 5e-4}) {
+        sim::FaultModel fault(2024);
+        fault.defaults.ber = ber;
+        msg::SystemParams sp = baseParams();
+        if (fault.anyConfigured())
+            sp.fabric.fault = &fault;
+        msg::System sys(sp);
+
+        const unsigned count = 1024;
+        const std::uint64_t bytes = 256;
+        const auto r = msg::runDeliverySoak(sys, 0, 1, bytes, count);
+        const double goodput =
+            r.elapsedUs > 0.0 ? double(bytes) * r.delivered / r.elapsedUs
+                              : 0.0;
+        std::printf("%10.0e %12.1f %10.0f %10.0f %10.0f %10.0f %8s\n",
+                    ber, goodput, r.retransmits, r.crcDrops, r.nacksSent,
+                    r.timeouts, r.intact ? "yes" : "NO");
+        if (!r.intact)
+            pm_panic("reliability bench: delivery contract violated at "
+                     "BER %g",
+                     ber);
+    }
+}
+
+void
+zeroFaultOverhead()
+{
+    std::printf("\n-- zero-fault overhead vs paper anchors --\n");
+    msg::System sys(baseParams());
+    const double lat = msg::measureOneWayLatencyUs(sys, 0, 1, 8);
+    const double bw = msg::measureUnidirectionalMBps(sys, 0, 1, 16384);
+    std::printf("fig9  8 B latency : %.3f us (paper 2.75, budget +-1%%)\n",
+                lat);
+    std::printf("fig11 peak bw     : %.1f MB/s (paper 59.9, budget "
+                "+-1%%)\n",
+                bw);
+    if (lat < 2.75 * 0.99 || lat > 2.75 * 1.01 || bw < 59.9 * 0.99 ||
+        bw > 59.9 * 1.01)
+        pm_panic("reliability protocol perturbed the fault-free "
+                 "anchors");
+}
+
+} // namespace
+
+int
+main()
+{
+    pm::setInformEnabled(false);
+    zeroFaultOverhead();
+    sweepBer();
+    return 0;
+}

@@ -26,6 +26,14 @@ NodeRt::NodeRt(Runtime &rt, unsigned nodeId)
       _nodeId(nodeId),
       _comm(rt.system(), nodeId)
 {
+    // CRC failures are absorbed by the driver's retransmit protocol;
+    // only an exhausted retry budget (a dead link) reaches the runtime,
+    // and EARTH has no answer to a lost token but to stop.
+    _comm.onDeliveryFailure([this](unsigned dst, std::uint64_t seq) {
+        pm_panic("earth: node %u gave up delivering token seq %llu to "
+                 "node %u (retry budget exhausted)",
+                 _nodeId, (unsigned long long)seq, dst);
+    });
     armReceiver();
 }
 
@@ -45,9 +53,9 @@ void
 NodeRt::armReceiver()
 {
     // The SU: one perpetually re-armed receive that dispatches tokens.
-    _comm.postRecv([this](std::vector<std::uint64_t> words, bool crcOk) {
-        if (!crcOk)
-            pm_panic("earth: token failed CRC on node %u", _nodeId);
+    // Corrupted messages never surface here — the driver NACKs and the
+    // sender retransmits below this interface.
+    _comm.postRecv([this](std::vector<std::uint64_t> words, bool) {
         handleToken(std::move(words));
         armReceiver();
     });

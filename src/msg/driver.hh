@@ -16,6 +16,29 @@
  * possibly receive the incoming data" — the direction switching, paid
  * in PIO accesses, caps simultaneous bidirectional throughput.
  *
+ * Reliable delivery: the NI hardware only *detects* errors (CRC-32
+ * per message); recovery is software's job. The driver runs a
+ * go-back-N protocol over the existing header word — no extra wire
+ * bytes — packing a message type, source node, 16-bit sequence
+ * number, piggybacked cumulative ACK, and payload length into the 64
+ * bits that previously carried only the length:
+ *
+ *   [63:60] type  (1 = DATA, 2 = ACK, 3 = NACK)
+ *   [59:48] source node
+ *   [47:32] sequence number (DATA) / echo of the expected seq (ctrl)
+ *   [31:16] cumulative ACK: all seqs < this value are delivered
+ *   [15: 0] payload words following the header
+ *
+ * Per destination the sender retains payloads until ACKed and
+ * retransmits from the first unACKed message on a NACK or on a
+ * timeout with exponential backoff; per source the receiver delivers
+ * strictly in sequence, NACKs CRC failures, discards duplicates, and
+ * acknowledges cumulatively (piggybacked on reverse DATA traffic, or
+ * by a standalone ACK after `ackEvery` deliveries / `ackDelay`
+ * cycles). A bounded budget of consecutive fruitless recovery rounds
+ * surfaces a delivery failure instead of hanging. Every protocol
+ * action is charged in DriverCosts cycles like any other PIO work.
+ *
  * Every PIO access is charged on the node bus (contending with the
  * other processor), every payload word moves through the data cache,
  * and the payload bytes are real — CRC protected end to end.
@@ -27,12 +50,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/proc.hh"
 #include "msg/system.hh"
 #include "ni/linkinterface.hh"
+#include "sim/clock.hh"
 #include "sim/event.hh"
 #include "sim/stats.hh"
 
@@ -50,14 +76,36 @@ struct DriverCosts
      * full link-interface FIFO — the paper's "at most 4 cache lines".
      */
     unsigned maxBurstWords = 0;
+
+    // ---- Reliability protocol. --------------------------------------
+    Cycles protocolCheck = 4; //!< Header decode + seq compare, charged
+                              //!< on protocol slow paths (drops,
+                              //!< duplicates, control). On the in-order
+                              //!< fast path the compare overlaps the
+                              //!< outstanding uncached FIFO reads on
+                              //!< the 4-issue 620 and costs nothing
+                              //!< extra.
+    Cycles ackSetup = 40; //!< Assembling a standalone ACK/NACK.
+    Cycles ackDelay = 18000; //!< Standalone-ACK latency bound (~100 us
+                             //!< at 180 MHz) when no reverse traffic
+                             //!< piggybacks one sooner.
+    unsigned ackEvery = 8; //!< Deliveries per forced standalone ACK.
+    Cycles retransBase = 90000; //!< Retransmit timeout floor (~500 us).
+    Cycles retransPerWord = 64; //!< Timeout scaling per unACKed word.
+    unsigned maxRetries = 8; //!< Consecutive fruitless recovery rounds
+                             //!< before delivery failure is declared.
 };
 
 /** Completion callback for receives: payload words + CRC verdict. */
 using RecvCallback =
     std::function<void(std::vector<std::uint64_t> payload, bool crcOk)>;
 
+/** Invoked when a message exhausts its retry budget. */
+using DeliveryFailureFn =
+    std::function<void(unsigned dstNode, std::uint64_t seq)>;
+
 /** One node's user-level communication endpoint. */
-class PmComm
+class PmComm : public Resettable
 {
   public:
     /**
@@ -73,7 +121,7 @@ class PmComm
     PmComm(const PmComm &) = delete;
     PmComm &operator=(const PmComm &) = delete;
 
-    /** Cancels any still-scheduled engine event. */
+    /** Cancels any still-scheduled engine/timer events. */
     ~PmComm();
 
     unsigned nodeId() const { return _nodeId; }
@@ -82,7 +130,11 @@ class PmComm
     /**
      * Queue a message send. Payload words are copied out of this
      * node's memory at `srcAddr` (loads through the cache hierarchy).
-     * `onDone` fires when the close command has entered the send FIFO.
+     * `onDone` fires when the close command has entered the send FIFO
+     * for the first transmission; delivery is then guaranteed by the
+     * retransmit protocol (or reported via the delivery-failure
+     * handler). Payloads are limited to 65535 words by the wire
+     * header's length field.
      */
     void postSend(unsigned dstNode, std::vector<std::uint64_t> payload,
                   std::function<void()> onDone = nullptr,
@@ -90,22 +142,75 @@ class PmComm
 
     /**
      * Queue a receive. Payload words are copied into memory at
-     * `dstAddr` (stores through the cache hierarchy).
+     * `dstAddr` (stores through the cache hierarchy). The callback's
+     * crcOk is always true: corrupted messages are retransmitted below
+     * this interface, never delivered.
      */
     void postRecv(RecvCallback onDone = nullptr,
                   Addr dstAddr = 0x6000'0000);
 
-    /** No queued operations remain. */
-    bool idle() const { return _sends.empty() && _recvs.empty(); }
+    /**
+     * Replace the delivery-failure handler. The default panics: with
+     * a fault-free fabric the retry budget is unreachable, so hitting
+     * it means a protocol bug; under injected faults callers install
+     * a handler to observe the bounded-retry guarantee.
+     */
+    void
+    onDeliveryFailure(DeliveryFailureFn fn)
+    {
+        _onFailure = std::move(fn);
+    }
+
+    /**
+     * Abandon all in-flight operations and protocol state (sequence
+     * numbers, unACKed retentions, pending timers). Called by
+     * System::resetForRun() on every live endpoint so a machine can be
+     * reused across experiment phases; counters are cumulative and
+     * survive. Never call mid-conversation with a peer that keeps
+     * running — both ends restart from sequence 0 at a reset.
+     */
+    void resetForRun() override;
+
+    /** No queued operations or unacknowledged messages remain. */
+    bool idle() const;
+
+    /**
+     * The wire side is quiet: nothing queued to send, no message
+     * partially received, nothing awaiting acknowledgement. Unlike
+     * idle(), a posted receive may still be pending — this is the
+     * condition for ending an experiment whose receiver re-arms
+     * perpetually.
+     */
+    bool quiescent() const;
+
+    /** All driver counters (also reachable as public members). */
+    sim::StatGroup &stats() { return _stats; }
 
     sim::Scalar messagesSent{"messages_sent", ""};
     sim::Scalar messagesReceived{"messages_received", ""};
+    sim::Scalar retransmits{"retransmits",
+                            "messages retransmitted (go-back-N)"};
+    sim::Scalar crcDrops{"crc_drops",
+                         "received messages discarded for bad CRC"};
+    sim::Scalar duplicateDiscards{"duplicate_discards",
+                                  "already-delivered messages discarded"};
+    sim::Scalar outOfOrderDiscards{"out_of_order_discards",
+                                   "ahead-of-sequence messages discarded"};
+    sim::Scalar timeouts{"timeouts", "retransmit timer expirations"};
+    sim::Scalar acksSent{"acks_sent", "standalone ACK messages"};
+    sim::Scalar nacksSent{"nacks_sent", "NACK messages"};
+    sim::Scalar deliveryFailures{"delivery_failures",
+                                 "messages abandoned after max retries"};
 
   private:
     struct SendOp
     {
         unsigned dst = 0;
-        std::vector<std::uint64_t> payload;
+        bool control = false; //!< Standalone ACK/NACK (no payload).
+        bool retransmit = false;
+        unsigned ctrlType = 0; //!< kAck or kNack for control ops.
+        std::uint16_t seq = 0; //!< DATA sequence number.
+        std::shared_ptr<std::vector<std::uint64_t>> payload;
         Addr srcAddr = 0;
         std::size_t nextWord = 0;
         bool started = false;
@@ -119,11 +224,46 @@ class PmComm
     {
         Addr dstAddr = 0;
         bool started = false;
-        bool haveHeader = false;
-        std::uint64_t expectWords = 0;
-        std::vector<std::uint64_t> words;
-        std::uint64_t msgIndex = 0; //!< Nth message on this interface.
         RecvCallback onDone;
+    };
+
+    /** A sent-but-unacknowledged message retained for retransmit. */
+    struct Unacked
+    {
+        std::uint16_t seq = 0;
+        std::shared_ptr<std::vector<std::uint64_t>> payload;
+        Addr srcAddr = 0;
+        bool queued = true; //!< A SendOp for it sits in _sends.
+    };
+
+    /** Per-destination sender state. */
+    struct TxPeer
+    {
+        std::uint16_t nextSeq = 0;
+        std::deque<Unacked> unacked;
+        std::uint64_t unackedWords = 0;
+        unsigned strikes = 0; //!< Fruitless recovery rounds in a row.
+        unsigned backoff = 0; //!< Timeout doublings.
+        bool dead = false; //!< Retry budget exhausted.
+        sim::EventHandle timer;
+    };
+
+    /** Per-source receiver state. */
+    struct RxPeer
+    {
+        std::uint16_t expect = 0; //!< Next in-order sequence number.
+        unsigned sinceAck = 0; //!< Deliveries since the last ACK out.
+        sim::EventHandle ackTimer;
+    };
+
+    /** The message currently being drained from the receive FIFO. */
+    struct RxAssembly
+    {
+        bool haveHeader = false;
+        std::uint64_t header = 0;
+        bool inOrderData = false; //!< Needs a posted recv; stores to
+                                  //!< memory as words drain.
+        std::vector<std::uint64_t> words;
     };
 
     System &_sys;
@@ -132,9 +272,16 @@ class PmComm
     DriverCosts _costs;
     cpu::Proc &_proc;
     ni::LinkInterface &_ni;
+    sim::ClockDomain _clk;
+    sim::StatGroup _stats;
     std::deque<SendOp> _sends;
     std::deque<RecvOp> _recvs;
-    std::uint64_t _recvsPosted = 0;
+    std::map<unsigned, TxPeer> _tx;
+    std::map<unsigned, RxPeer> _rx;
+    RxAssembly _cur;
+    /** Delivered payloads awaiting a postRecv (in-order surplus). */
+    std::deque<std::vector<std::uint64_t>> _stash;
+    DeliveryFailureFn _onFailure;
     sim::EventHandle _engineEvent; //!< Live while the engine is queued.
 
     void kick();
@@ -142,6 +289,26 @@ class PmComm
     void engine();
     bool serviceRecv();
     bool serviceSend();
+    bool workPending() const;
+    bool anyUnacked() const;
+
+    // Receive-side protocol.
+    void classify(RxAssembly &cur);
+    void finishMessage();
+    void deliver(std::vector<std::uint64_t> words);
+    void noteDelivered(unsigned src);
+    void ackTimerFired(unsigned src);
+    void piggybackAckCleared(unsigned dst);
+
+    // Send-side protocol.
+    void queueControl(unsigned type, unsigned dst);
+    void handleAck(unsigned src, std::uint16_t ack);
+    void rewind(unsigned dst, TxPeer &peer);
+    void armRetransTimer(unsigned dst, TxPeer &peer);
+    void retransTimerFired(unsigned dst);
+    void strike(unsigned dst, TxPeer &peer);
+    void fail(unsigned dst, TxPeer &peer);
+    std::uint64_t headerFor(const SendOp &op);
 };
 
 } // namespace pm::msg

@@ -16,6 +16,25 @@ makePayload(std::uint64_t bytes, std::uint64_t seed)
     return payload;
 }
 
+namespace {
+
+/**
+ * Run the reliability protocol to quiescence after the measured
+ * interval: the last messages' ACK handshakes are still in flight when
+ * the receive count hits, and leaving them on the wire would pollute a
+ * later run on the same machine. Quiescence, not idleness: an echo
+ * server's perpetually re-armed receive keeps its driver polling (and
+ * the event queue non-empty) forever.
+ */
+void
+drainToIdle(System &sys, PmComm &x, PmComm &y)
+{
+    while ((!x.quiescent() || !y.quiescent()) && sys.queue().step()) {
+    }
+}
+
+} // namespace
+
 double
 measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
                        std::uint64_t bytes, unsigned iters)
@@ -60,6 +79,7 @@ measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
                  remaining);
 
     const Tick total = sys.queue().now() - started;
+    drainToIdle(sys, commA, commB);
     return ticksToUs(total) / (2.0 * iters);
 }
 
@@ -91,7 +111,9 @@ streamOneWay(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
     if (failed || received != count)
         pm_panic("one-way stream lost or corrupted messages (%u/%u)",
                  received, count);
-    return sys.queue().now() - started;
+    const Tick total = sys.queue().now() - started;
+    drainToIdle(sys, commA, commB);
+    return total;
 }
 
 } // namespace
@@ -148,7 +170,72 @@ measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
                  received, 2 * count);
 
     const double us = ticksToUs(sys.queue().now() - started);
+    drainToIdle(sys, commA, commB);
     return us > 0.0 ? (2.0 * double(bytes) * count) / us : 0.0;
+}
+
+SoakResult
+runDeliverySoak(System &sys, unsigned a, unsigned b,
+                std::uint64_t bytes, unsigned count,
+                std::uint64_t seed, unsigned window)
+{
+    sys.resetForRun();
+    PmComm commA(sys, a);
+    PmComm commB(sys, b);
+
+    SoakResult res;
+    bool senderDead = false;
+    commA.onDeliveryFailure(
+        [&](unsigned, std::uint64_t) { senderDead = true; });
+    commB.onDeliveryFailure([&](unsigned, std::uint64_t) {});
+
+    // Keep at most `window` sends posted at once: go-back-N with an
+    // unbounded window retransmits everything behind one loss.
+    unsigned posted = 0;
+    std::function<void()> postNext = [&] {
+        if (posted >= count || senderDead)
+            return;
+        const unsigned i = posted++;
+        commA.postSend(b, makePayload(bytes, seed + i),
+                       [&] { postNext(); });
+    };
+
+    std::function<void()> armRecv = [&] {
+        commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
+            const unsigned i = res.delivered++;
+            if (!crcOk || got != makePayload(bytes, seed + i))
+                res.intact = false;
+            if (res.delivered < count)
+                armRecv();
+        });
+    };
+
+    const Tick started = sys.queue().now();
+    armRecv();
+    for (unsigned i = 0; i < window && i < count; ++i)
+        postNext();
+    while (res.delivered < count && !senderDead && sys.queue().step()) {
+    }
+    // Let in-flight ACKs and timers drain so both endpoints go idle
+    // and the counters are final.
+    while ((!commA.idle() || !commB.idle()) && sys.queue().step()) {
+    }
+    res.elapsedUs = ticksToUs(sys.queue().now() - started);
+    if (res.delivered != count)
+        res.intact = false;
+
+    const auto sum = [&](const sim::Scalar PmComm::*m) {
+        return (commA.*m).value() + (commB.*m).value();
+    };
+    res.retransmits = sum(&PmComm::retransmits);
+    res.crcDrops = sum(&PmComm::crcDrops);
+    res.duplicateDiscards = sum(&PmComm::duplicateDiscards);
+    res.outOfOrderDiscards = sum(&PmComm::outOfOrderDiscards);
+    res.timeouts = sum(&PmComm::timeouts);
+    res.acksSent = sum(&PmComm::acksSent);
+    res.nacksSent = sum(&PmComm::nacksSent);
+    res.deliveryFailures = sum(&PmComm::deliveryFailures);
+    return res;
 }
 
 } // namespace pm::msg

@@ -51,6 +51,38 @@ double measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
                                 std::uint64_t bytes,
                                 unsigned count = 32);
 
+/** Outcome of a reliable-delivery soak (see runDeliverySoak). */
+struct SoakResult
+{
+    unsigned delivered = 0; //!< Messages handed to the receiver.
+    bool intact = true; //!< Exactly once, in order, bit for bit.
+    double elapsedUs = 0.0;
+    // Protocol counters summed over both endpoints.
+    double retransmits = 0.0;
+    double crcDrops = 0.0;
+    double duplicateDiscards = 0.0;
+    double outOfOrderDiscards = 0.0;
+    double timeouts = 0.0;
+    double acksSent = 0.0;
+    double nacksSent = 0.0;
+    double deliveryFailures = 0.0;
+};
+
+/**
+ * Stream `count` distinct seeded payloads from node `a` to node `b`
+ * and verify the reliable-delivery contract: every payload arrives
+ * exactly once, in posting order, bit for bit — regardless of any
+ * fault model configured on the fabric underneath. Delivery failures
+ * (exhausted retry budgets) are counted, not fatal, so callers can
+ * probe the bounded-retry guarantee too.
+ * @param window Sends kept in flight at once (go-back-N works best
+ *        with a bounded window; this paces postSend, not the wire).
+ */
+SoakResult runDeliverySoak(System &sys, unsigned a, unsigned b,
+                           std::uint64_t bytes, unsigned count,
+                           std::uint64_t seed = 12345,
+                           unsigned window = 16);
+
 } // namespace pm::msg
 
 #endif // PM_MSG_PROBES_HH

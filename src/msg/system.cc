@@ -18,12 +18,14 @@ System::System(const SystemParams &params)
 void
 System::resetForRun()
 {
-    _fabric->resetInterfaces();
+    _fabric->reset();
     for (auto &n : _nodes) {
         n->reset();
         for (unsigned c = 0; c < n->numCpus(); ++c)
             n->proc(c).advanceTo(_queue.now());
     }
+    for (Resettable *r : _resettables)
+        r->resetForRun();
 }
 
 } // namespace pm::msg

@@ -24,6 +24,20 @@ struct SystemParams
     net::FabricParams fabric; //!< Interconnect topology.
 };
 
+/**
+ * Per-run protocol state that System::resetForRun() must quiesce.
+ * Endpoints (PmComm) register themselves so that resetting the machine
+ * between experiment phases also resets endpoints a caller still holds
+ * — a stale driver with unacknowledged traffic keeps polling the link
+ * interface and would steal words from the next phase's messages.
+ */
+class Resettable
+{
+  public:
+    virtual ~Resettable() = default;
+    virtual void resetForRun() = 0;
+};
+
 /** Nodes + fabric + event queue. */
 class System
 {
@@ -44,17 +58,25 @@ class System
     }
 
     /**
-     * Reset node caches/timing and link interfaces between experiment
-     * runs, and bring every processor's local clock up to the event
-     * queue's current time (queue time is monotonic).
+     * Reset node caches/timing, link interfaces, and any registered
+     * endpoints between experiment runs, and bring every processor's
+     * local clock up to the event queue's current time (queue time is
+     * monotonic).
      */
     void resetForRun();
+
+    void addResettable(Resettable *r) { _resettables.push_back(r); }
+    void removeResettable(Resettable *r)
+    {
+        std::erase(_resettables, r);
+    }
 
   private:
     SystemParams _p;
     sim::EventQueue _queue;
     std::unique_ptr<net::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
+    std::vector<Resettable *> _resettables;
 };
 
 } // namespace pm::msg

@@ -59,6 +59,27 @@ Crossbar::outputOwner(unsigned o) const
 }
 
 void
+Crossbar::reset()
+{
+    for (unsigned i = 0; i < _p.ports; ++i) {
+        Input &in = _in[i];
+        // clear() drops the persistent fill callback with the contents.
+        in.fifo->clear();
+        in.fifo->setFillCallback([this, i] { schedulePump(i); });
+        in.target = -1;
+        in.waiting = false;
+        _queue.cancel(in.pumpEvent);
+        in.pumpAt = 0;
+    }
+    for (auto &out : _out) {
+        out.owner = -1;
+        out.waiters.clear();
+        if (out.tx)
+            out.tx->reset();
+    }
+}
+
+void
 Crossbar::schedulePump(unsigned i)
 {
     schedulePumpAt(i, _queue.now());

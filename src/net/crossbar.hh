@@ -64,6 +64,12 @@ class Crossbar
     /** Input channel currently routed to this output (-1 if free). */
     int outputOwner(unsigned o) const;
 
+    /**
+     * Tear down all circuits, drop buffered and in-flight symbols, and
+     * cancel pending pumps (between experiment runs).
+     */
+    void reset();
+
     sim::StatGroup &stats() { return _stats; }
     sim::Scalar routesEstablished{"routes", "connections established"};
     sim::Scalar symbolsForwarded{"symbols", "symbols switched"};

@@ -91,7 +91,15 @@ Drain::pump()
     for (unsigned n = 0; n < _fabric.numNodes(); ++n) {
         auto &ni = _fabric.ni(n, _net);
         NodeState &st = _state[n];
-        while (ni.recvAvailable() > 0) {
+        while (true) {
+            // Retire drained messages so the status register moves on
+            // to the next one (it never spans a message boundary).
+            if (ni.frontMessageDrained()) {
+                ni.consumeMessage();
+                continue;
+            }
+            if (ni.recvAvailable() == 0)
+                break;
             const std::uint64_t w = ni.popRecv(_queue.now());
             if (!st.haveHeader) {
                 st.haveHeader = true;

@@ -17,6 +17,7 @@
 #include "net/fifo.hh"
 #include "net/symbol.hh"
 #include "sim/event.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -27,6 +28,7 @@ struct LinkParams
 {
     double mbps = 60.0; //!< Wire rate (60 MB/s: byte-parallel @ 60 MHz).
     Tick latency = 33 * kTicksPerNs; //!< Propagation + input register.
+    sim::FaultModel *fault = nullptr; //!< Optional fault injection.
 
     /** Wire time for `bytes` bytes. */
     Tick
@@ -46,6 +48,8 @@ class LinkTx
     {
         if (!sink)
             pm_fatal("link %s: null sink", _name.c_str());
+        if (_p.fault)
+            _site = _p.fault->site(_name);
     }
 
     const LinkParams &params() const { return _p; }
@@ -60,14 +64,33 @@ class LinkTx
     bool
     canSend(Tick now) const
     {
-        return _busyUntil <= now && _sink->freeSpace() > _inflight;
+        if (_busyUntil > now)
+            return false;
+        if (_site && _site->upAt(now) > now)
+            return false;
+        return _sink->freeSpace() > _inflight;
     }
 
     /** Wire busy horizon (for rescheduling pumps). */
-    Tick busyUntil() const { return _busyUntil; }
+    Tick
+    busyUntil() const
+    {
+        Tick busy = _busyUntil;
+        if (_site) {
+            const Tick up = _site->upAt(_queue.now());
+            if (up > busy)
+                busy = up;
+        }
+        return busy;
+    }
 
     /**
      * Transmit one symbol; caller must have checked canSend().
+     * A fault site may corrupt or drop a Data symbol here: a dropped
+     * word still occupies its wire time (the receiver simply never
+     * sees it), and route/close symbols are never faulted — dropping
+     * one would wedge the circuit-switched crossbars rather than model
+     * a recoverable data error.
      * @return Time the last byte leaves the wire (sender side free).
      */
     Tick
@@ -79,11 +102,18 @@ class LinkTx
         const Tick tx = _p.txTime(sym.wireBytes());
         _busyUntil = now + tx;
         bytesSent += sym.wireBytes();
+        Symbol out = sym;
+        if (_site && sym.kind == SymKind::Data &&
+            _site->filterWord(out.data))
+            return _busyUntil;
         ++_inflight;
         const Tick arrival = now + tx + _p.latency;
-        _queue.schedule(arrival, [this, sym] {
+        const unsigned gen = _gen;
+        _queue.schedule(arrival, [this, out, gen] {
+            if (gen != _gen)
+                return; // the link was reset while this was in flight
             --_inflight;
-            _sink->push(sym, _queue.now());
+            _sink->push(out, _queue.now());
         });
         return _busyUntil;
     }
@@ -94,6 +124,20 @@ class LinkTx
         _sink->onSpace(std::move(cb));
     }
 
+    /**
+     * Forget all wire state between experiment runs. Delivery events
+     * for symbols already in flight cannot be cancelled (they hold no
+     * handle); bumping the generation makes them vanish on arrival
+     * instead of polluting the next run's circuits.
+     */
+    void
+    reset()
+    {
+        ++_gen;
+        _busyUntil = 0;
+        _inflight = 0;
+    }
+
     sim::Scalar bytesSent{"bytes_sent", "wire bytes transmitted"};
 
   private:
@@ -101,8 +145,10 @@ class LinkTx
     sim::EventQueue &_queue;
     LinkParams _p;
     SymbolSink *_sink;
+    sim::FaultSite *_site = nullptr;
     Tick _busyUntil = 0;
     unsigned _inflight = 0;
+    unsigned _gen = 0; //!< Bumped by reset() to void in-flight symbols.
 };
 
 } // namespace pm::net

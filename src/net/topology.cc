@@ -35,6 +35,7 @@ Fabric::buildNetwork(unsigned n)
     for (unsigned c = 0; c < _p.clusters; ++c) {
         CrossbarParams xp = _p.xbar;
         xp.name = "xbar.c" + std::to_string(c) + tag;
+        xp.link.fault = _p.fault;
         net.clusterXbars.push_back(
             std::make_unique<Crossbar>(xp, _queue));
     }
@@ -42,6 +43,7 @@ Fabric::buildNetwork(unsigned n)
         ni::LinkIfParams np = _p.ni;
         np.name = "ni.n" + std::to_string(node) + tag;
         np.link = _p.nodeLink;
+        np.link.fault = _p.fault;
         net.nis.push_back(std::make_unique<ni::LinkInterface>(np, _queue));
 
         Crossbar &xb = *net.clusterXbars[clusterOf(node)];
@@ -57,6 +59,7 @@ Fabric::buildNetwork(unsigned n)
     for (unsigned u = 0; u < _p.uplinksPerCluster; ++u) {
         CrossbarParams xp = _p.xbar;
         xp.name = "xbar.l2u" + std::to_string(u) + tag;
+        xp.link.fault = _p.fault;
         net.l2Xbars.push_back(std::make_unique<Crossbar>(xp, _queue));
     }
     for (unsigned c = 0; c < _p.clusters; ++c) {
@@ -66,6 +69,7 @@ Fabric::buildNetwork(unsigned n)
             const unsigned upPort = _p.nodesPerCluster + u;
 
             TransceiverParams tp = _p.xcvr;
+            tp.link.fault = _p.fault;
             tp.name = "xcvr.up.c" + std::to_string(c) + ".u" +
                       std::to_string(u) + tag;
             net.xcvrs.push_back(
@@ -138,11 +142,18 @@ Fabric::crossbarsOnPath(unsigned src, unsigned dst) const
 }
 
 void
-Fabric::resetInterfaces()
+Fabric::reset()
 {
-    for (auto &net : _nets)
+    for (auto &net : _nets) {
         for (auto &ni : net.nis)
             ni->reset();
+        for (auto &xbar : net.clusterXbars)
+            xbar->reset();
+        for (auto &xbar : net.l2Xbars)
+            xbar->reset();
+        for (auto &xcvr : net.xcvrs)
+            xcvr->reset();
+    }
 }
 
 } // namespace pm::net

@@ -39,6 +39,13 @@ struct FabricParams
     TransceiverParams xcvr;
     ni::LinkIfParams ni;
     LinkParams nodeLink; //!< Node -> cluster crossbar direction.
+
+    /**
+     * Optional fault injection; propagated into every link direction
+     * (node links, crossbar outputs, transceivers). Must outlive the
+     * Fabric and be fully configured before it is built.
+     */
+    sim::FaultModel *fault = nullptr;
 };
 
 /**
@@ -84,8 +91,14 @@ class Fabric
     /** Number of crossbars a src -> dst connection crosses. */
     unsigned crossbarsOnPath(unsigned src, unsigned dst) const;
 
-    /** Reset all link interfaces (between experiment runs). */
-    void resetInterfaces();
+    /**
+     * Reset the whole fabric between experiment runs: link interfaces,
+     * crossbars, transceivers, and every link direction. Buffered and
+     * in-flight symbols are dropped and all circuits torn down, so a
+     * run that ends with protocol traffic still moving (trailing ACKs,
+     * abandoned retransmits) cannot pollute the next one.
+     */
+    void reset();
 
   private:
     struct Network

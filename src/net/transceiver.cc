@@ -37,6 +37,18 @@ Transceiver::connectOutput(SymbolSink *downstream)
 }
 
 void
+Transceiver::reset()
+{
+    // clear() drops the persistent fill callback with the contents.
+    _in.clear();
+    _in.setFillCallback([this] { schedulePump(); });
+    _queue.cancel(_pumpEvent);
+    _pumpAt = 0;
+    if (_tx)
+        _tx->reset();
+}
+
+void
 Transceiver::schedulePump()
 {
     schedulePumpAt(_queue.now());

@@ -45,6 +45,12 @@ class Transceiver
     /** Connect to the next element's input sink. */
     void connectOutput(SymbolSink *downstream);
 
+    /**
+     * Drop buffered and in-flight symbols and cancel pending pumps
+     * (between experiment runs).
+     */
+    void reset();
+
   private:
     TransceiverParams _p;
     sim::EventQueue &_queue;

@@ -42,19 +42,45 @@ LinkInterface::pushSend(const net::Symbol &sym, Tick now)
 unsigned
 LinkInterface::recvAvailable() const
 {
+    if (!_completed.empty())
+        return static_cast<unsigned>(_completed.front().words - _drained);
     return static_cast<unsigned>(_recvFifo.size());
 }
 
 std::uint64_t
 LinkInterface::popRecv(Tick)
 {
-    if (_recvFifo.empty())
-        pm_panic("link interface %s: software read an empty receive FIFO",
+    if (recvAvailable() == 0)
+        pm_panic("link interface %s: software read past the receive "
+                 "FIFO or a message boundary",
                  _p.name.c_str());
     const std::uint64_t w = _recvFifo.front();
     _recvFifo.pop_front();
+    ++_drained;
     notifyRxSpace();
     return w;
+}
+
+const LinkInterface::RecvMsgInfo &
+LinkInterface::frontMessage() const
+{
+    if (_completed.empty())
+        pm_panic("link interface %s: no completed message",
+                 _p.name.c_str());
+    return _completed.front();
+}
+
+LinkInterface::RecvMsgInfo
+LinkInterface::consumeMessage()
+{
+    if (!frontMessageDrained())
+        pm_panic("link interface %s: consuming a message with words "
+                 "still buffered",
+                 _p.name.c_str());
+    const RecvMsgInfo info = _completed.front();
+    _completed.pop_front();
+    _drained = 0;
+    return info;
 }
 
 void
@@ -68,7 +94,14 @@ LinkInterface::reset()
     _crcPendingClose = false;
     _txAnyData = false;
     _messages = 0;
-    _lastCrcOk = true;
+    _completed.clear();
+    _drained = 0;
+    _rxMsgWords = 0;
+    _queue.cancel(_pumpEvent);
+    _pumpAt = 0;
+    _rxSpaceCbs.clear();
+    if (_tx)
+        _tx->reset();
 }
 
 // ---- Send pump. --------------------------------------------------------
@@ -204,29 +237,38 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
             ni._crcRx.update(*ni._staged);
             ni._recvFifo.push_back(*ni._staged);
             ++ni.wordsReceived;
+            ++ni._rxMsgWords;
         }
         ni._staged = sym.data;
         break;
-      case net::SymKind::Close:
+      case net::SymKind::Close: {
+        bool ok = true;
         if (ni._staged) {
             // The staged word is the hardware CRC: strip and verify.
-            const bool ok =
-                static_cast<std::uint32_t>(*ni._staged) ==
-                ni._crcRx.value();
-            ni._lastCrcOk = ok;
+            // A message whose CRC word itself was lost on the wire
+            // merges with its close: the last payload word is then
+            // mistaken for the CRC and fails the compare — still a
+            // detected error, just attributed here.
+            ok = static_cast<std::uint32_t>(*ni._staged) ==
+                 ni._crcRx.value();
             if (!ok)
                 ++ni.crcErrors;
             ni._staged.reset();
-        } else {
-            ni._lastCrcOk = true; // dataless message carries no CRC
         }
+        // A dataless message carries no CRC: ok stays true — unless
+        // words were lost so thoroughly the message emptied out, in
+        // which case _rxMsgWords vs. the sender's header word lets
+        // software catch it.
         ni._crcRx.reset();
         ++ni._messages;
+        ni._completed.push_back(RecvMsgInfo{ni._rxMsgWords, ok});
+        ni._rxMsgWords = 0;
         pm_trace(ni._queue.now(), "ni", "%s: message %llu complete, crc %s",
                  ni._p.name.c_str(), (unsigned long long)ni._messages,
-                 ni._lastCrcOk ? "ok" : "BAD");
+                 ok ? "ok" : "BAD");
         ni.notifyRxSpace();
         break;
+      }
     }
 }
 

@@ -61,7 +61,19 @@ class LinkInterface
      */
     void pushSend(const net::Symbol &sym, Tick now);
 
-    /** Payload words readable from the receive FIFO (status register). */
+    /** Verdict of one completed (close-terminated) message. */
+    struct RecvMsgInfo
+    {
+        std::uint64_t words = 0; //!< Payload words (CRC stripped).
+        bool crcOk = true;
+    };
+
+    /**
+     * Payload words readable from the receive FIFO (status register).
+     * Never spans a message boundary: while an undrained completed
+     * message is at the head of the stream, only its remaining words
+     * are reported — the caller must consumeMessage() to move on.
+     */
     unsigned recvAvailable() const;
 
     /** Read one received word; recvAvailable() must be nonzero. */
@@ -70,8 +82,24 @@ class LinkInterface
     /** Completed (close-terminated) messages seen so far. */
     std::uint64_t messagesReceived() const { return _messages; }
 
-    /** CRC verdict of the most recently completed message. */
-    bool lastCrcOk() const { return _lastCrcOk; }
+    /** A completed message is at the head of the receive stream. */
+    bool messageComplete() const { return !_completed.empty(); }
+
+    /** Oldest completed message; messageComplete() must hold. */
+    const RecvMsgInfo &frontMessage() const;
+
+    /** Every word of the oldest completed message has been popped. */
+    bool
+    frontMessageDrained() const
+    {
+        return !_completed.empty() && _drained == _completed.front().words;
+    }
+
+    /**
+     * Retire the oldest completed message and return its verdict; all
+     * of its words must have been popped (frontMessageDrained()).
+     */
+    RecvMsgInfo consumeMessage();
 
     /** Drop all buffered state (between experiment runs). */
     void reset();
@@ -130,7 +158,9 @@ class LinkInterface
     std::optional<std::uint64_t> _staged; //!< Last word; may be the CRC.
     Crc32 _crcRx;
     std::uint64_t _messages = 0;
-    bool _lastCrcOk = true;
+    std::deque<RecvMsgInfo> _completed; //!< Oldest-first verdicts.
+    std::uint64_t _drained = 0; //!< Popped words of the oldest message.
+    std::uint64_t _rxMsgWords = 0; //!< Words of the in-progress message.
     std::vector<std::function<void()>> _rxSpaceCbs;
 
     void schedulePump();

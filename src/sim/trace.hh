@@ -7,7 +7,8 @@
  *   PM_TRACE=xbar,ni ./build/examples/quickstart
  *
  * Flags in use: "xbar" (route setup/teardown), "ni" (message
- * completion, CRC), "driver" (send/recv ops).
+ * completion, CRC), "driver" (send/recv ops, retransmit protocol),
+ * "fault" (injected corruption/drops, link-down stalls).
  * Tracing is off unless the environment variable is set; the disabled
  * path is one inlined boolean test.
  */

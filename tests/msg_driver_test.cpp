@@ -65,6 +65,55 @@ TEST(PmComm, EightByteMessageUnderThreeMicroseconds)
     EXPECT_GT(us, 1.0);
 }
 
+// The quickstart/README pattern: exchange messages, abandon the loop
+// as soon as the receiver fires (the sender's ACK handshake is still
+// in flight), then reuse the same machine for a measurement probe.
+// resetForRun() must quiesce the live endpoints — a stale driver left
+// polling for its ACK steals words from the new endpoints' messages
+// and desynchronizes the go-back-N state machines.
+TEST(PmComm, MachineIsReusableAcrossPhasesWithLiveEndpoints)
+{
+    System sys(smallSystem(8));
+    sys.resetForRun();
+    PmComm sender(sys, 0), receiver(sys, 5);
+    const auto payload = makePayload(256, 42);
+
+    bool delivered = false;
+    sender.postSend(5, payload);
+    receiver.postRecv([&](std::vector<std::uint64_t> got, bool crc) {
+        delivered = crc && got == payload;
+    });
+    while (!delivered && sys.queue().step()) {
+    }
+    ASSERT_TRUE(delivered);
+    ASSERT_FALSE(sender.idle()); // ACK still outstanding: the trap.
+
+    const double us = measureOneWayLatencyUs(sys, 0, 1, 8);
+    EXPECT_GT(us, 2.75 * 0.99);
+    EXPECT_LT(us, 2.75 * 1.01);
+    EXPECT_TRUE(sender.idle());
+    EXPECT_DOUBLE_EQ(sender.retransmits.value(), 0.0);
+    EXPECT_DOUBLE_EQ(sender.deliveryFailures.value(), 0.0);
+}
+
+// Fig 12 runs one measurement per message size on a single machine.
+// Each run must leave the fabric quiescent: a trailing ACK still on
+// the wire when the next run's resetForRun() fires would worm into the
+// new circuits as a stray route command. Repeatability doubles as a
+// determinism check.
+TEST(PmComm, MeasurementProbesAreRepeatableOnOneMachine)
+{
+    System sys(smallSystem(8));
+    const double bi1 = measureBidirectionalMBps(sys, 0, 1, 16384, 6);
+    const double lat = measureOneWayLatencyUs(sys, 0, 1, 8);
+    const double bi2 = measureBidirectionalMBps(sys, 0, 1, 16384, 6);
+    const double uni = measureUnidirectionalMBps(sys, 0, 1, 16384);
+    EXPECT_DOUBLE_EQ(bi1, bi2);
+    EXPECT_GT(lat, 2.75 * 0.99);
+    EXPECT_LT(lat, 2.75 * 1.01);
+    EXPECT_GT(uni, 59.9 * 0.98);
+}
+
 TEST(PmComm, MessagesArriveInOrder)
 {
     System sys(smallSystem());

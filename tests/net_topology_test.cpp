@@ -158,7 +158,8 @@ TEST(Fabric, SymbolTravelsNodeToNode)
     q.run();
     ASSERT_EQ(dst.recvAvailable(), 1u);
     EXPECT_EQ(dst.popRecv(q.now()), 0xCAFEu);
-    EXPECT_TRUE(dst.lastCrcOk());
+    ASSERT_TRUE(dst.frontMessageDrained());
+    EXPECT_TRUE(dst.consumeMessage().crcOk);
 }
 
 TEST(Fabric, SymbolTravelsAcrossCabinets)
@@ -174,10 +175,11 @@ TEST(Fabric, SymbolTravelsAcrossCabinets)
     q.run();
     ASSERT_EQ(dst.recvAvailable(), 1u);
     EXPECT_EQ(dst.popRecv(q.now()), 0xD00Du);
-    EXPECT_TRUE(dst.lastCrcOk());
+    ASSERT_TRUE(dst.frontMessageDrained());
+    EXPECT_TRUE(dst.consumeMessage().crcOk);
 }
 
-TEST(Fabric, ResetInterfacesClearsFifos)
+TEST(Fabric, ResetClearsFifos)
 {
     sim::EventQueue q;
     Fabric f(smallParams(), q);
@@ -185,9 +187,35 @@ TEST(Fabric, ResetInterfacesClearsFifos)
     f.ni(0).pushSend(Symbol::makeData(1), 0);
     f.ni(0).pushSend(Symbol::makeClose(), 0);
     q.run();
-    f.resetInterfaces();
+    f.reset();
     EXPECT_EQ(f.ni(3).recvAvailable(), 0u);
     EXPECT_EQ(f.ni(3).messagesReceived(), 0u);
+}
+
+// A reset must void symbols still on the wire: without it, a message
+// abandoned mid-flight (trailing ACKs of a finished measurement run,
+// say) worms its route bytes into the next run's freshly-opened
+// circuits and a route command reaches a node.
+TEST(Fabric, ResetVoidsInFlightSymbols)
+{
+    sim::EventQueue q;
+    Fabric f(smallParams(), q);
+    f.ni(0).pushSend(Symbol::makeRoute(3), 0);
+    f.ni(0).pushSend(Symbol::makeData(1), 0);
+    f.ni(0).pushSend(Symbol::makeClose(), 0);
+    // Step just far enough that symbols are in motion, not delivered.
+    while (q.step() && f.ni(3).recvAvailable() == 0 &&
+           q.now() < 500 * kTicksPerNs) {
+    }
+    f.reset();
+    // The leftovers must neither arrive nor wedge the fresh run.
+    f.ni(0).pushSend(Symbol::makeRoute(3), q.now());
+    f.ni(0).pushSend(Symbol::makeData(42), q.now());
+    f.ni(0).pushSend(Symbol::makeClose(), q.now());
+    q.run();
+    ASSERT_TRUE(f.ni(3).messageComplete());
+    EXPECT_EQ(f.ni(3).messagesReceived(), 1u);
+    EXPECT_EQ(f.ni(3).popRecv(q.now()), 42u);
 }
 
 } // namespace

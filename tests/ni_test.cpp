@@ -102,7 +102,8 @@ TEST(LinkInterface, WordsCrossTheLink)
     EXPECT_EQ(p.b->popRecv(p.queue.now()), 0x1111u);
     EXPECT_EQ(p.b->popRecv(p.queue.now()), 0x2222u);
     EXPECT_EQ(p.b->messagesReceived(), 1u);
-    EXPECT_TRUE(p.b->lastCrcOk());
+    ASSERT_TRUE(p.b->frontMessageDrained());
+    EXPECT_TRUE(p.b->consumeMessage().crcOk);
     EXPECT_EQ(p.b->crcErrors.value(), 0.0);
 }
 
@@ -146,8 +147,50 @@ TEST(LinkInterface, CorruptionIsDetected)
         b.rxPort()->push(s, queue.now());
     }
     EXPECT_EQ(b.messagesReceived(), 1u);
-    EXPECT_FALSE(b.lastCrcOk());
+    ASSERT_TRUE(b.messageComplete());
+    EXPECT_FALSE(b.frontMessage().crcOk);
     EXPECT_EQ(b.crcErrors.value(), 1.0);
+}
+
+TEST(LinkInterface, QueuedBehindMessageCannotMaskAnError)
+{
+    // A clean message completing right after a corrupted one must not
+    // overwrite the bad verdict: each completed message carries its
+    // own.
+    sim::EventQueue queue;
+    LinkIfParams pa;
+    pa.name = "a";
+    LinkIfParams pb;
+    pb.name = "b";
+    LinkInterface a(pa, queue), b(pb, queue);
+    InputFifo wire("wire", 64);
+    a.connectOutput(&wire);
+
+    a.pushSend(Symbol::makeData(0xBAD), 0);
+    a.pushSend(Symbol::makeClose(), 0);
+    a.pushSend(Symbol::makeData(0x600D), 0);
+    a.pushSend(Symbol::makeClose(), 0);
+    queue.run();
+    bool first = true;
+    while (!wire.empty()) {
+        Symbol s = wire.pop();
+        if (s.kind == SymKind::Data && first) {
+            s.data ^= 0x10; // corrupt only the first payload word
+            first = false;
+        }
+        b.rxPort()->push(s, queue.now());
+    }
+    EXPECT_EQ(b.messagesReceived(), 2u);
+    ASSERT_EQ(b.recvAvailable(), 1u);
+    EXPECT_EQ(b.popRecv(0), 0xBADu ^ 0x10u);
+    auto bad = b.consumeMessage();
+    EXPECT_FALSE(bad.crcOk);
+    EXPECT_EQ(bad.words, 1u);
+    ASSERT_EQ(b.recvAvailable(), 1u);
+    EXPECT_EQ(b.popRecv(0), 0x600Du);
+    auto good = b.consumeMessage();
+    EXPECT_TRUE(good.crcOk);
+    EXPECT_EQ(good.words, 1u);
 }
 
 TEST(LinkInterface, DatalessMessageHasNoCrc)
@@ -156,7 +199,10 @@ TEST(LinkInterface, DatalessMessageHasNoCrc)
     p.a->pushSend(Symbol::makeClose(), 0);
     p.queue.run();
     EXPECT_EQ(p.b->messagesReceived(), 1u);
-    EXPECT_TRUE(p.b->lastCrcOk());
+    ASSERT_TRUE(p.b->frontMessageDrained());
+    const auto info = p.b->consumeMessage();
+    EXPECT_TRUE(info.crcOk);
+    EXPECT_EQ(info.words, 0u);
     EXPECT_EQ(p.b->recvAvailable(), 0u);
 }
 
@@ -171,9 +217,16 @@ TEST(LinkInterface, BackToBackMessagesKeepCrcBoundaries)
     }
     p.queue.run();
     EXPECT_EQ(p.b->messagesReceived(), 3u);
-    EXPECT_TRUE(p.b->lastCrcOk());
-    EXPECT_EQ(p.b->recvAvailable(), 6u);
-    EXPECT_EQ(p.b->popRecv(0), 100u);
+    // The status register never spans a message boundary: each of the
+    // three messages must be drained and consumed in turn.
+    for (int m = 0; m < 3; ++m) {
+        ASSERT_EQ(p.b->recvAvailable(), 2u);
+        EXPECT_EQ(p.b->popRecv(0), 100u + m);
+        EXPECT_EQ(p.b->popRecv(0), 200u + m);
+        ASSERT_TRUE(p.b->frontMessageDrained());
+        EXPECT_TRUE(p.b->consumeMessage().crcOk);
+    }
+    EXPECT_EQ(p.b->recvAvailable(), 0u);
 }
 
 TEST(LinkInterface, SendRespectsWordTimestamps)
@@ -201,7 +254,7 @@ TEST(LinkInterface, SendFifoOverrunPanics)
 TEST(LinkInterface, EmptyRecvReadPanics)
 {
     Pair p;
-    EXPECT_DEATH(p.a->popRecv(0), "empty receive FIFO");
+    EXPECT_DEATH(p.a->popRecv(0), "read past the receive");
 }
 
 TEST(LinkInterface, ReceiveFifoBackpressuresTheWire)
@@ -240,7 +293,7 @@ TEST(LinkInterface, ResetClearsAllState)
     p.b->reset();
     EXPECT_EQ(p.b->recvAvailable(), 0u);
     EXPECT_EQ(p.b->messagesReceived(), 0u);
-    EXPECT_TRUE(p.b->lastCrcOk());
+    EXPECT_FALSE(p.b->messageComplete());
 }
 
 TEST(Transceiver, RelaysWithCableLatency)

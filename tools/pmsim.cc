@@ -24,6 +24,7 @@
 #include "machines/machines.hh"
 #include "msg/probes.hh"
 #include "node/node.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "workloads/runner.hh"
 
@@ -31,7 +32,7 @@ namespace {
 
 using namespace pm;
 
-/** Minimal --key value / --flag argument parser. */
+/** Minimal --key value / --key=value / --flag argument parser. */
 class Args
 {
   public:
@@ -42,10 +43,15 @@ class Args
             if (key.rfind("--", 0) != 0)
                 pm_fatal("unexpected argument '%s'", argv[i]);
             key = key.substr(2);
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            const auto eq = key.find('=');
+            if (eq != std::string::npos) {
+                _kv[key.substr(0, eq)] = key.substr(eq + 1);
+            } else if (i + 1 < argc &&
+                       std::strncmp(argv[i + 1], "--", 2) != 0) {
                 _kv[key] = argv[++i];
-            else
+            } else {
                 _kv[key] = "";
+            }
         }
     }
 
@@ -66,6 +72,24 @@ class Args
             return dflt;
         return static_cast<unsigned>(std::strtoul(it->second.c_str(),
                                                   nullptr, 0));
+    }
+
+    std::uint64_t
+    u64(const std::string &k, std::uint64_t dflt) const
+    {
+        auto it = _kv.find(k);
+        if (it == _kv.end())
+            return dflt;
+        return std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+
+    double
+    dbl(const std::string &k, double dflt) const
+    {
+        auto it = _kv.find(k);
+        if (it == _kv.end())
+            return dflt;
+        return std::strtod(it->second.c_str(), nullptr);
     }
 
   private:
@@ -153,6 +177,30 @@ cmdComm(const Args &args)
     sp.fabric.uplinksPerCluster =
         sp.fabric.clusters > 1 ? args.num("uplinks", 4) : 0;
     sp.fabric.ni.fifoWords = args.num("fifo", 32);
+
+    // Fault injection: configured before the System so the fabric's
+    // links snapshot the config as they are built. The model must
+    // outlive the System.
+    sim::FaultModel fault(args.u64("fault-seed", 1));
+    fault.defaults.ber = args.dbl("fault-ber", 0.0);
+    fault.defaults.drop = args.dbl("fault-drop", 0.0);
+    if (args.has("fault-link-down")) {
+        const std::string w = args.str("fault-link-down", "");
+        const auto colon = w.find(':');
+        if (colon == std::string::npos)
+            pm_fatal("--fault-link-down expects FROM:TO (microseconds)");
+        sim::FaultWindow win;
+        win.from = static_cast<Tick>(
+            std::strtod(w.c_str(), nullptr) * kTicksPerUs);
+        win.to = static_cast<Tick>(
+            std::strtod(w.c_str() + colon + 1, nullptr) * kTicksPerUs);
+        if (win.to <= win.from)
+            pm_fatal("--fault-link-down window is empty");
+        fault.defaults.down.push_back(win);
+    }
+    if (fault.anyConfigured())
+        sp.fabric.fault = &fault;
+
     msg::System sys(sp);
 
     const unsigned a = args.num("src", 0);
@@ -175,8 +223,31 @@ cmdComm(const Args &args)
         std::printf("bidirectional %u B: %.1f MB/s total\n", bytes,
                     msg::measureBidirectionalMBps(sys, a, b, bytes,
                                                   count));
+    } else if (op == "soak") {
+        const auto r = msg::runDeliverySoak(sys, a, b, bytes, count,
+                                            args.u64("seed", 12345));
+        std::printf("soak %u x %u B: delivered %u/%u %s in %.1f us\n",
+                    count, bytes, r.delivered, count,
+                    r.intact ? "intact" : "CORRUPTED", r.elapsedUs);
+        std::printf("  retransmits          %.0f\n"
+                    "  crc_drops            %.0f\n"
+                    "  duplicate_discards   %.0f\n"
+                    "  out_of_order_discards %.0f\n"
+                    "  timeouts             %.0f\n"
+                    "  acks_sent            %.0f\n"
+                    "  nacks_sent           %.0f\n"
+                    "  delivery_failures    %.0f\n",
+                    r.retransmits, r.crcDrops, r.duplicateDiscards,
+                    r.outOfOrderDiscards, r.timeouts, r.acksSent,
+                    r.nacksSent, r.deliveryFailures);
     } else {
-        pm_fatal("unknown op '%s' (latency|gap|unibw|bibw)", op.c_str());
+        pm_fatal("unknown op '%s' (latency|gap|unibw|bibw|soak)",
+                 op.c_str());
+    }
+    if (args.has("stats")) {
+        std::ostringstream os;
+        fault.stats().dump(os);
+        std::fputs(os.str().c_str(), stdout);
     }
     return 0;
 }
@@ -191,8 +262,11 @@ usage()
                  "       [--transposed] [--cpus C] [--rows R]\n"
                  "       [--independent] [--type double|int] [--stats]\n"
                  "  comm [--machine M] [--nodes N] [--clusters K]\n"
-                 "       [--fifo W] --op latency|gap|unibw|bibw\n"
+                 "       [--fifo W] --op latency|gap|unibw|bibw|soak\n"
                  "       [--bytes B] [--count C] [--src S] [--dst D]\n"
+                 "       [--fault-ber P] [--fault-drop P]\n"
+                 "       [--fault-seed S] [--fault-link-down FROM:TO]\n"
+                 "       [--stats]\n"
                  "machines: powermanna sun pc180 pc266\n");
 }
 
