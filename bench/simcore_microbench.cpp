@@ -34,7 +34,7 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         sim::EventQueue q;
         int sink = 0;
         for (int i = 0; i < state.range(0); ++i)
-            q.schedule(static_cast<Tick>(i * 7 % 1000), [&] { ++sink; });
+            (void)q.schedule(static_cast<Tick>(i * 7 % 1000), [&] { ++sink; });
         q.run();
         benchmark::DoNotOptimize(sink);
     }
@@ -87,12 +87,12 @@ BM_EventQueuePeriodicSteadyState(benchmark::State &state)
     std::uint64_t sink = 0;
     std::function<void(int)> tickFn = [&](int i) {
         ++sink;
-        q.scheduleIn(static_cast<Tick>(50 + i % 17), [&tickFn, i] {
+        (void)q.scheduleIn(static_cast<Tick>(50 + i % 17), [&tickFn, i] {
             tickFn(i);
         });
     };
     for (int i = 0; i < components; ++i)
-        q.schedule(static_cast<Tick>(i % 31), [&tickFn, i] { tickFn(i); });
+        (void)q.schedule(static_cast<Tick>(i % 31), [&tickFn, i] { tickFn(i); });
     for (auto _ : state) {
         q.step();
         benchmark::DoNotOptimize(sink);

@@ -172,7 +172,7 @@ class PmComm : public Resettable
     void resetForRun() override;
 
     /** No queued operations or unacknowledged messages remain. */
-    bool idle() const;
+    [[nodiscard]] bool idle() const;
 
     /**
      * The wire side is quiet: nothing queued to send, no message
@@ -181,7 +181,7 @@ class PmComm : public Resettable
      * condition for ending an experiment whose receiver re-arms
      * perpetually.
      */
-    bool quiescent() const;
+    [[nodiscard]] bool quiescent() const;
 
     /** All driver counters (also reachable as public members). */
     sim::StatGroup &stats() { return _stats; }

@@ -127,7 +127,7 @@ Crossbar::pump(unsigned i)
         }
         // Consume the route command, claim the output, and pay the
         // through-routing setup latency.
-        in.fifo->pop();
+        (void)in.fifo->pop();
         out.owner = static_cast<int>(i);
         in.target = static_cast<int>(o);
         ++routesEstablished;

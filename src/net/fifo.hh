@@ -13,12 +13,12 @@
 #define PM_NET_FIFO_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/symbol.hh"
+#include "sim/event.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -32,10 +32,10 @@ class SymbolSink
     virtual ~SymbolSink() = default;
 
     /** Can one more symbol be accepted? (The stop signal, inverted.) */
-    virtual bool hasSpace() const = 0;
+    [[nodiscard]] virtual bool hasSpace() const = 0;
 
     /** Number of further symbols acceptable right now. */
-    virtual unsigned freeSpace() const = 0;
+    [[nodiscard]] virtual unsigned freeSpace() const = 0;
 
     /** Deliver a symbol; only legal when hasSpace(). */
     virtual void push(const Symbol &sym, Tick now) = 0;
@@ -43,8 +43,11 @@ class SymbolSink
     /**
      * Register a one-shot callback invoked the next time space becomes
      * available. Used by senders throttled by the stop signal.
+     * Callbacks are sim::EventFn — small-buffer, move-only — because
+     * this sits on the per-symbol wire path (the std-function lint
+     * rule fences the whole of src/net for the same reason).
      */
-    virtual void onSpace(std::function<void()> cb) = 0;
+    virtual void onSpace(sim::EventFn cb) = 0;
 };
 
 /** A bounded FIFO of symbols, counted in wire capacity. */
@@ -63,13 +66,19 @@ class InputFifo : public SymbolSink
     }
 
     const std::string &name() const { return _name; }
-    unsigned capacity() const { return _capacity; }
-    unsigned size() const { return static_cast<unsigned>(_q.size()); }
-    bool empty() const { return _q.empty(); }
+    [[nodiscard]] unsigned capacity() const { return _capacity; }
+    [[nodiscard]] unsigned size() const
+    {
+        return static_cast<unsigned>(_q.size());
+    }
+    [[nodiscard]] bool empty() const { return _q.empty(); }
 
-    bool hasSpace() const override { return _q.size() < _capacity; }
+    [[nodiscard]] bool hasSpace() const override
+    {
+        return _q.size() < _capacity;
+    }
 
-    unsigned
+    [[nodiscard]] unsigned
     freeSpace() const override
     {
         return _capacity - static_cast<unsigned>(_q.size());
@@ -90,7 +99,7 @@ class InputFifo : public SymbolSink
     }
 
     void
-    onSpace(std::function<void()> cb) override
+    onSpace(sim::EventFn cb) override
     {
         _spaceCbs.push_back(std::move(cb));
     }
@@ -99,21 +108,23 @@ class InputFifo : public SymbolSink
      * Register a persistent callback invoked on every push (the
      * element that services this FIFO uses it to wake its pump).
      */
-    void setFillCallback(std::function<void()> cb) { _fillCb = std::move(cb); }
+    void setFillCallback(sim::EventFn cb) { _fillCb = std::move(cb); }
 
     /** Peek the head symbol. */
-    const Symbol &
+    [[nodiscard]] const Symbol &
     front() const
     {
-        pm_assert(!_q.empty());
+        pm_assert(!_q.empty(), "fifo %s: front() on empty FIFO",
+                  _name.c_str());
         return _q.front();
     }
 
     /** Remove and return the head symbol; wakes throttled senders. */
-    Symbol
+    [[nodiscard]] Symbol
     pop()
     {
-        pm_assert(!_q.empty());
+        pm_assert(!_q.empty(), "fifo %s: pop() on empty FIFO",
+                  _name.c_str());
         Symbol s = _q.front();
         _q.pop_front();
         notifySpace();
@@ -132,7 +143,7 @@ class InputFifo : public SymbolSink
     {
         _q.clear();
         _spaceCbs.clear();
-        _fillCb = nullptr;
+        _fillCb.reset();
     }
 
     sim::Scalar maxOccupancy{"max_occupancy", "peak buffered symbols"};
@@ -141,15 +152,15 @@ class InputFifo : public SymbolSink
     std::string _name;
     unsigned _capacity;
     std::deque<Symbol> _q;
-    std::vector<std::function<void()>> _spaceCbs;
-    std::function<void()> _fillCb;
+    std::vector<sim::EventFn> _spaceCbs;
+    sim::EventFn _fillCb;
 
     void
     notifySpace()
     {
         if (_spaceCbs.empty())
             return;
-        std::vector<std::function<void()>> cbs;
+        std::vector<sim::EventFn> cbs;
         cbs.swap(_spaceCbs);
         for (auto &cb : cbs)
             cb();

@@ -26,8 +26,9 @@ void
 Injector::start(Tick until)
 {
     _until = until;
-    _queue.schedule(_queue.now() + 1 + _rng.below(_interval),
-                    [this] { tryInject(); });
+    // Fire-and-forget: the injector re-arms itself from the callback.
+    (void)_queue.schedule(_queue.now() + 1 + _rng.below(_interval),
+                          [this] { tryInject(); });
 }
 
 void
@@ -55,7 +56,7 @@ Injector::tryInject()
     if (ni.sendSpace() < needed) {
         // FIFO backpressure: retry shortly; the deficit is recorded.
         ++throttled;
-        _queue.scheduleIn(_interval / 4 + 1, [this] { tryInject(); });
+        (void)_queue.scheduleIn(_interval / 4 + 1, [this] { tryInject(); });
         return;
     }
 
@@ -69,7 +70,7 @@ Injector::tryInject()
     ni.pushSend(Symbol::makeClose(), now);
     ++sent;
 
-    _queue.scheduleIn(_interval, [this] { tryInject(); });
+    (void)_queue.scheduleIn(_interval, [this] { tryInject(); });
 }
 
 Drain::Drain(Fabric &fabric, sim::EventQueue &queue, unsigned net,
@@ -80,7 +81,7 @@ Drain::Drain(Fabric &fabric, sim::EventQueue &queue, unsigned net,
       _poll(pollInterval),
       _state(fabric.numNodes())
 {
-    _queue.scheduleIn(_poll, [this] { pump(); });
+    (void)_queue.scheduleIn(_poll, [this] { pump(); });
 }
 
 void
@@ -95,7 +96,7 @@ Drain::pump()
             // Retire drained messages so the status register moves on
             // to the next one (it never spans a message boundary).
             if (ni.frontMessageDrained()) {
-                ni.consumeMessage();
+                (void)ni.consumeMessage();
                 continue;
             }
             if (ni.recvAvailable() == 0)
@@ -118,7 +119,7 @@ Drain::pump()
             }
         }
     }
-    _queue.scheduleIn(_poll, [this] { pump(); });
+    (void)_queue.scheduleIn(_poll, [this] { pump(); });
 }
 
 } // namespace pm::net

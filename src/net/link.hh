@@ -11,7 +11,6 @@
 #ifndef PM_NET_LINK_HH
 #define PM_NET_LINK_HH
 
-#include <functional>
 #include <string>
 
 #include "net/fifo.hh"
@@ -61,7 +60,7 @@ class LinkTx
      * against the receiver's space so the wire pipeline never overruns
      * the stop signal.
      */
-    bool
+    [[nodiscard]] bool
     canSend(Tick now) const
     {
         if (_busyUntil > now)
@@ -109,7 +108,9 @@ class LinkTx
         ++_inflight;
         const Tick arrival = now + tx + _p.latency;
         const unsigned gen = _gen;
-        _queue.schedule(arrival, [this, out, gen] {
+        // Fire-and-forget: in-flight deliveries are voided by the
+        // generation check below, not by cancellation (see reset()).
+        (void)_queue.schedule(arrival, [this, out, gen] {
             if (gen != _gen)
                 return; // the link was reset while this was in flight
             --_inflight;
@@ -119,10 +120,7 @@ class LinkTx
     }
 
     /** Subscribe to receiver-space availability (stop released). */
-    void onReceiverSpace(std::function<void()> cb)
-    {
-        _sink->onSpace(std::move(cb));
-    }
+    void onReceiverSpace(sim::EventFn cb) { _sink->onSpace(std::move(cb)); }
 
     /**
      * Forget all wire state between experiment runs. Delivery events

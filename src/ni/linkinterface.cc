@@ -273,7 +273,7 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
 }
 
 void
-LinkInterface::RxPort::onSpace(std::function<void()> cb)
+LinkInterface::RxPort::onSpace(sim::EventFn cb)
 {
     _ni._rxSpaceCbs.push_back(std::move(cb));
 }
@@ -283,7 +283,7 @@ LinkInterface::notifyRxSpace()
 {
     if (_rxSpaceCbs.empty())
         return;
-    std::vector<std::function<void()>> cbs;
+    std::vector<sim::EventFn> cbs;
     cbs.swap(_rxSpaceCbs);
     for (auto &cb : cbs)
         cb();

@@ -16,7 +16,6 @@
 #define PM_NI_LINKINTERFACE_HH
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,7 +52,7 @@ class LinkInterface
     // ---- CPU (driver) side. The caller charges PIO timing. ----------
 
     /** Free send-FIFO entries (the send status register). */
-    unsigned sendSpace() const;
+    [[nodiscard]] unsigned sendSpace() const;
 
     /**
      * Write one symbol into the send FIFO at CPU-local time `now`.
@@ -74,22 +73,28 @@ class LinkInterface
      * message is at the head of the stream, only its remaining words
      * are reported — the caller must consumeMessage() to move on.
      */
-    unsigned recvAvailable() const;
+    [[nodiscard]] unsigned recvAvailable() const;
 
     /** Read one received word; recvAvailable() must be nonzero. */
-    std::uint64_t popRecv(Tick now);
+    [[nodiscard]] std::uint64_t popRecv(Tick now);
 
     /** Completed (close-terminated) messages seen so far. */
-    std::uint64_t messagesReceived() const { return _messages; }
+    [[nodiscard]] std::uint64_t messagesReceived() const
+    {
+        return _messages;
+    }
 
     /** A completed message is at the head of the receive stream. */
-    bool messageComplete() const { return !_completed.empty(); }
+    [[nodiscard]] bool messageComplete() const
+    {
+        return !_completed.empty();
+    }
 
     /** Oldest completed message; messageComplete() must hold. */
-    const RecvMsgInfo &frontMessage() const;
+    [[nodiscard]] const RecvMsgInfo &frontMessage() const;
 
     /** Every word of the oldest completed message has been popped. */
-    bool
+    [[nodiscard]] bool
     frontMessageDrained() const
     {
         return !_completed.empty() && _drained == _completed.front().words;
@@ -123,10 +128,13 @@ class LinkInterface
     {
       public:
         explicit RxPort(LinkInterface &ni) : _ni(ni) {}
-        bool hasSpace() const override { return freeSpace() > 0; }
-        unsigned freeSpace() const override;
+        [[nodiscard]] bool hasSpace() const override
+        {
+            return freeSpace() > 0;
+        }
+        [[nodiscard]] unsigned freeSpace() const override;
         void push(const net::Symbol &sym, Tick now) override;
-        void onSpace(std::function<void()> cb) override;
+        void onSpace(sim::EventFn cb) override;
 
       private:
         LinkInterface &_ni;
@@ -161,7 +169,7 @@ class LinkInterface
     std::deque<RecvMsgInfo> _completed; //!< Oldest-first verdicts.
     std::uint64_t _drained = 0; //!< Popped words of the oldest message.
     std::uint64_t _rxMsgWords = 0; //!< Words of the in-progress message.
-    std::vector<std::function<void()>> _rxSpaceCbs;
+    std::vector<sim::EventFn> _rxSpaceCbs;
 
     void schedulePump();
     void schedulePumpAt(Tick when);

@@ -247,14 +247,20 @@ class EventQueue
 
     /**
      * Schedule a callback at an absolute tick.
+     *
+     * [[nodiscard]]: silently dropping the handle is almost always a
+     * bug — the caller loses its only way to cancel or observe the
+     * event (the PR 1 overhaul existed to remove that bug class).
+     * Genuine fire-and-forget scheduling states so with a (void) cast.
+     *
      * @param when Absolute time; must be >= now().
      * @param fn Callback to run.
      * @return Live handle for the scheduling (usable with cancel()).
      */
-    EventHandle schedule(Tick when, EventFn fn);
+    [[nodiscard]] EventHandle schedule(Tick when, EventFn fn);
 
     /** Schedule a callback `delta` ticks in the future. */
-    EventHandle
+    [[nodiscard]] EventHandle
     scheduleIn(Tick delta, EventFn fn)
     {
         return schedule(_now + delta, std::move(fn));
@@ -268,7 +274,7 @@ class EventQueue
     bool cancel(EventHandle h);
 
     /** True while `h` names a pending (not executed/cancelled) event. */
-    bool
+    [[nodiscard]] bool
     scheduled(EventHandle h) const
     {
         return h._slot < _slab.size() &&
@@ -277,10 +283,13 @@ class EventQueue
     }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return _heap.size() - _cancelled; }
+    [[nodiscard]] std::size_t pending() const
+    {
+        return _heap.size() - _cancelled;
+    }
 
     /** True when no runnable events remain. */
-    bool empty() const { return pending() == 0; }
+    [[nodiscard]] bool empty() const { return pending() == 0; }
 
     /**
      * Run until the queue drains or `limit` ticks is reached.

@@ -40,6 +40,23 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: assertion failed: %s", file, line,
+                 cond);
+    if (fmt) {
+        std::fprintf(stderr, ": ");
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(stderr, fmt, args);
+        va_end(args);
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
 warnImpl(const char *fmt, ...)
 {
     std::fprintf(stderr, "warn: ");

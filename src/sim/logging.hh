@@ -32,6 +32,17 @@ void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print a formatted status message to stderr. */
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Print "assertion failed: <cond>", the optional formatted message,
+ * and the location, then abort(). The default-argument/varargs combo
+ * lets pm_assert() forward an empty __VA_ARGS__ while the printf
+ * attribute still checks call sites that do pass a format string.
+ */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond,
+                                 const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
 
@@ -40,12 +51,16 @@ void setInformEnabled(bool enabled);
 #define pm_warn(...) ::pm::warnImpl(__VA_ARGS__)
 #define pm_inform(...) ::pm::informImpl(__VA_ARGS__)
 
-/** panic() unless the given invariant holds. */
+/**
+ * panic() unless the given invariant holds. An optional printf-style
+ * message after the condition is printed alongside the stringified
+ * condition: pm_assert(n < cap, "fifo %s overflow", name).
+ */
 #define pm_assert(cond, ...)                                                \
     do {                                                                    \
         if (!(cond))                                                        \
-            ::pm::panicImpl(__FILE__, __LINE__, "assertion failed: %s",    \
-                            #cond);                                         \
+            ::pm::assertFailImpl(__FILE__, __LINE__,                        \
+                                 #cond __VA_OPT__(, ) __VA_ARGS__);         \
     } while (0)
 
 } // namespace pm

@@ -19,6 +19,10 @@ struct Config
 
     Config()
     {
+        // PM_TRACE only gates diagnostic output; it never feeds back
+        // into simulated state, so reading it cannot break run-to-run
+        // determinism of results.
+        // pmlint: banned-ok(trace gating read once at startup)
         const char *env = std::getenv("PM_TRACE");
         if (!env || !*env)
             return;

@@ -191,7 +191,7 @@ TEST(Crossbar, BackpressureFromFullDownstream)
     EXPECT_EQ(r.sinks[1]->size(), 2u);
     // Draining releases the stop signal and the rest flow.
     while (!r.sinks[1]->empty())
-        r.sinks[1]->pop();
+        (void)r.sinks[1]->pop();
     r.queue.run();
     EXPECT_GT(r.sinks[1]->size(), 0u);
 }

@@ -70,10 +70,10 @@ TEST(InputFifo, SpaceCallbackFiresOncePerSubscription)
     f.push(Symbol::makeData(1), 0);
     int fired = 0;
     f.onSpace([&] { ++fired; });
-    f.pop();
+    (void)f.pop();
     EXPECT_EQ(fired, 1);
     f.push(Symbol::makeData(2), 0);
-    f.pop();
+    (void)f.pop();
     EXPECT_EQ(fired, 1); // one-shot
 }
 
@@ -106,7 +106,7 @@ TEST(InputFifo, ClearFiresNoCallbacksAndDropsThem)
     f.push(Symbol::makeData(2), 0);
     EXPECT_EQ(fillFired, 0);
     // And a stale one-shot must not fire on post-reset drains.
-    f.pop();
+    (void)f.pop();
     EXPECT_EQ(spaceFired, 0);
 }
 
@@ -115,7 +115,7 @@ TEST(InputFifo, TracksPeakOccupancy)
     InputFifo f("f", 4);
     f.push(Symbol::makeData(1), 0);
     f.push(Symbol::makeData(2), 0);
-    f.pop();
+    (void)f.pop();
     EXPECT_EQ(f.maxOccupancy.value(), 2.0);
 }
 
@@ -185,14 +185,14 @@ TEST(LinkTx, RespectsReceiverSpaceIncludingInflight)
     EXPECT_FALSE(tx.canSend(t));
     q.run(); // deliveries land; the FIFO is now full
     EXPECT_FALSE(tx.canSend(q.now()));
-    sink.pop(); // reader drains one entry: stop released
+    (void)sink.pop(); // reader drains one entry: stop released
     EXPECT_TRUE(tx.canSend(q.now()));
     tx.send(Symbol::makeData(3), q.now());
     // One buffered + one in flight again: blocked until another pop.
     const Tick t3 = q.now() + p.txTime(8);
     q.run();
     EXPECT_FALSE(tx.canSend(t3));
-    sink.pop();
+    (void)sink.pop();
     EXPECT_TRUE(tx.canSend(t3));
 }
 

@@ -254,7 +254,7 @@ TEST(LinkInterface, SendFifoOverrunPanics)
 TEST(LinkInterface, EmptyRecvReadPanics)
 {
     Pair p;
-    EXPECT_DEATH(p.a->popRecv(0), "read past the receive");
+    EXPECT_DEATH((void)p.a->popRecv(0), "read past the receive");
 }
 
 TEST(LinkInterface, ReceiveFifoBackpressuresTheWire)

@@ -1,0 +1,14 @@
+#ifndef PM_MEM_GUARD_CLEAN_HH
+#define PM_MEM_GUARD_CLEAN_HH
+
+// pmlint fixture: clean counterpart of guard_bad.hh — a guard derived
+// from the path relative to the scan root passes.
+
+namespace pm {
+
+struct Empty
+{};
+
+} // namespace pm
+
+#endif // PM_MEM_GUARD_CLEAN_HH

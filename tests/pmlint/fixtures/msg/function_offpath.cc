@@ -1,0 +1,14 @@
+// pmlint fixture: std::function outside the hot-path directories
+// (sim/, net/, ni/) is allowed — completion callbacks in msg/ run at
+// message granularity, not per symbol.
+#include <functional>
+
+namespace pm {
+
+void
+runLater(std::function<void()> fn)
+{
+    fn();
+}
+
+} // namespace pm

@@ -1,0 +1,16 @@
+// pmlint fixture: R1 unordered-iter violation — iterating a hash
+// container leaks implementation-defined order into results.
+#include <cstdint>
+#include <unordered_map>
+
+namespace pm {
+
+std::uint64_t
+firstEndpoint(const std::unordered_map<unsigned, std::uint64_t> &byNode)
+{
+    for (const auto &[node, words] : byNode) // line 12: unordered-iter
+        return node + words;
+    return 0;
+}
+
+} // namespace pm

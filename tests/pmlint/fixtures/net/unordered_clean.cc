@@ -1,0 +1,27 @@
+// pmlint fixture: clean counterpart of unordered_bad.cc — the
+// annotation escape hatch with a justification suppresses the rule,
+// and lookups (no iteration) never trigger it.
+#include <cstdint>
+#include <unordered_map>
+
+namespace pm {
+
+std::uint64_t
+sumEndpoints(const std::unordered_map<unsigned, std::uint64_t> &byNode)
+{
+    std::uint64_t sum = 0;
+    // pmlint: unordered-ok(commutative reduction; order cannot leak)
+    for (const auto &[node, words] : byNode)
+        sum += words + node * 0;
+    return sum;
+}
+
+std::uint64_t
+lookupEndpoint(const std::unordered_map<unsigned, std::uint64_t> &byNode,
+               unsigned node)
+{
+    auto it = byNode.find(node); // point lookup: fine
+    return it == byNode.end() ? 0 : it->second;
+}
+
+} // namespace pm

@@ -1,0 +1,17 @@
+#ifndef PM_NI_FUNCTION_BAD_HH
+#define PM_NI_FUNCTION_BAD_HH
+
+// pmlint fixture: R2 std-function violation — heap-allocating
+// callbacks on a simulator hot path (sim/, net/, ni/).
+#include <functional>
+
+namespace pm {
+
+struct DmaEngine
+{
+    std::function<void()> onComplete; // line 13: std-function
+};
+
+} // namespace pm
+
+#endif // PM_NI_FUNCTION_BAD_HH

@@ -1,0 +1,9 @@
+// pmlint fixture: a suppression without a reason is itself a finding —
+// the escape hatches exist to *record* justifications, not skip them.
+
+namespace pm {
+
+// pmlint: unordered-ok
+int answer() { return 42; }
+
+} // namespace pm

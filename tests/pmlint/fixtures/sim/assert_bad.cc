@@ -1,0 +1,14 @@
+// pmlint fixture: R3 assert-side-effect violation — the condition
+// mutates state, so the invariant changes the system it documents.
+
+namespace pm {
+
+unsigned
+drain(unsigned n)
+{
+    unsigned drained = 0;
+    pm_assert(drained++ < n); // line 10: assert-side-effect
+    return drained;
+}
+
+} // namespace pm

@@ -1,0 +1,16 @@
+// pmlint fixture: clean counterpart of assert_bad.cc — side-effect
+// free conditions, comparisons, and a printf-style message are fine.
+
+namespace pm {
+
+unsigned
+drain(unsigned n)
+{
+    unsigned drained = 0;
+    pm_assert(drained <= n);
+    pm_assert(n > 0, "drain of %u words from empty fifo", n);
+    ++drained;
+    return drained;
+}
+
+} // namespace pm

@@ -1,0 +1,23 @@
+// pmlint fixture: R1 banned-ident violations (wall clock, environment,
+// nondeterministic random sources). Never compiled; scanned by the
+// golden test. Each marked line must appear in ../expected.txt.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace pm {
+
+unsigned long
+wallSeed()
+{
+    std::random_device rd; // line 13: banned type
+    return rd() ^ static_cast<unsigned long>(time(nullptr)); // line 14
+}
+
+const char *
+homeDir()
+{
+    return std::getenv("HOME"); // line 20: banned call
+}
+
+} // namespace pm

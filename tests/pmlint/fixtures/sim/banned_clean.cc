@@ -1,0 +1,26 @@
+// pmlint fixture: clean counterpart of banned_bad.cc — member calls
+// named like libc functions, declarations, and an annotated escape
+// hatch must all pass.
+#include <cstdlib>
+
+namespace pm {
+
+struct Proc
+{
+    unsigned long time() const { return 0; } // declaration, not a call
+};
+
+unsigned long
+cpuTime(const Proc &proc)
+{
+    return proc.time(); // member call: a different function entirely
+}
+
+const char *
+traceFlags()
+{
+    // pmlint: banned-ok(trace gating read once at startup)
+    return std::getenv("PM_TRACE");
+}
+
+} // namespace pm

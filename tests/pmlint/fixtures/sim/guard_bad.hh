@@ -1,0 +1,14 @@
+#ifndef GUARD_BAD_HH
+#define GUARD_BAD_HH
+
+// pmlint fixture: R3 include-guard violation — the macro must encode
+// the path (PM_SIM_GUARD_BAD_HH) so two headers can never collide.
+
+namespace pm {
+
+struct Empty
+{};
+
+} // namespace pm
+
+#endif // GUARD_BAD_HH

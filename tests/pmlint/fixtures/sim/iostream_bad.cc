@@ -1,0 +1,12 @@
+// pmlint fixture: R3 no-iostream violation.
+#include <iostream>
+
+namespace pm {
+
+void
+printBanner()
+{
+    std::cout << "powermanna\n";
+}
+
+} // namespace pm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Golden-file tests for pmlint itself.
+ *
+ * The fixture tree under tests/pmlint/fixtures/ seeds exactly one
+ * violation per rule plus a clean counterpart for each; expected.txt
+ * is the byte-exact diagnostic output (file:line: [rule-id] message,
+ * sorted, plus the summary line). Any rule regression — a lost
+ * detection, a new false positive on the clean files, a changed
+ * diagnostic format — shows up as a diff here in tier-1.
+ *
+ * The binary and paths are injected by CMake as PMLINT_* macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run a command, capturing stdout+stderr. */
+RunResult
+run(const std::string &cmd)
+{
+    RunResult res;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return res;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        res.output.append(buf, n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        res.exitCode = WEXITSTATUS(status);
+    return res;
+}
+
+std::string
+slurp(const char *path)
+{
+    FILE *f = fopen(path, "rb");
+    if (!f)
+        return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    fclose(f);
+    return out;
+}
+
+TEST(PmLint, FixturesMatchGoldenOutput)
+{
+    const RunResult res =
+        run(std::string(PMLINT_BIN) + " " + PMLINT_FIXTURES);
+    const std::string expected = slurp(PMLINT_EXPECTED);
+    ASSERT_FALSE(expected.empty())
+        << "could not read golden file " << PMLINT_EXPECTED;
+    // Findings present => exit 1; byte-exact diagnostics.
+    EXPECT_EQ(res.exitCode, 1);
+    EXPECT_EQ(res.output, expected);
+}
+
+TEST(PmLint, EverySeededRuleIsDetected)
+{
+    // Belt and braces on top of the byte-exact compare: each rule id
+    // fires at least once on the fixture tree, so adding a rule
+    // without a fixture (or breaking one detector) fails loudly.
+    const RunResult res =
+        run(std::string(PMLINT_BIN) + " " + PMLINT_FIXTURES);
+    for (const char *rule :
+         {"[banned-ident]", "[unordered-iter]", "[std-function]",
+          "[include-guard]", "[no-iostream]", "[assert-side-effect]",
+          "[annotation]"})
+        EXPECT_NE(res.output.find(rule), std::string::npos)
+            << "rule never fired on fixtures: " << rule;
+}
+
+TEST(PmLint, SourceTreeIsCleanAndExitsZero)
+{
+    // The zero-finding baseline over src/ is itself a tier-1 property:
+    // a PR reintroducing a hazard fails ctest before it reaches CI.
+    const RunResult res = run(std::string(PMLINT_BIN) + " " + PMLINT_SRC);
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_EQ(res.output, "");
+}
+
+TEST(PmLint, MissingRootExitsWithUsageError)
+{
+    EXPECT_EQ(run(std::string(PMLINT_BIN) + " /nonexistent-pmlint-root")
+                  .exitCode,
+              2);
+    EXPECT_EQ(run(std::string(PMLINT_BIN)).exitCode, 2);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 
 #include "sim/clock.hh"
 #include "sim/event.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -33,9 +34,9 @@ TEST(EventQueue, ExecutesInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
+    (void)q.schedule(30, [&] { order.push_back(3); });
+    (void)q.schedule(10, [&] { order.push_back(1); });
+    (void)q.schedule(20, [&] { order.push_back(2); });
     EXPECT_EQ(q.run(), 3u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(q.now(), 30u);
@@ -46,7 +47,7 @@ TEST(EventQueue, SameTickIsFifo)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        q.schedule(5, [&order, i] { order.push_back(i); });
+        (void)q.schedule(5, [&order, i] { order.push_back(i); });
     q.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[i], i);
@@ -56,11 +57,11 @@ TEST(EventQueue, EventsMayScheduleEvents)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(1, [&] {
+    (void)q.schedule(1, [&] {
         ++fired;
-        q.schedule(2, [&] {
+        (void)q.schedule(2, [&] {
             ++fired;
-            q.scheduleIn(3, [&] { ++fired; });
+            (void)q.scheduleIn(3, [&] { ++fired; });
         });
     });
     q.run();
@@ -72,8 +73,8 @@ TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&] { ++fired; });
-    q.schedule(100, [&] { ++fired; });
+    (void)q.schedule(10, [&] { ++fired; });
+    (void)q.schedule(100, [&] { ++fired; });
     EXPECT_EQ(q.run(50), 1u);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(q.now(), 10u);
@@ -86,7 +87,7 @@ TEST(EventQueue, CancelPreventsExecution)
     EventQueue q;
     int fired = 0;
     auto id = q.schedule(10, [&] { ++fired; });
-    q.schedule(20, [&] { ++fired; });
+    (void)q.schedule(20, [&] { ++fired; });
     EXPECT_TRUE(q.cancel(id));
     EXPECT_FALSE(q.cancel(id)); // already cancelled
     q.run();
@@ -116,7 +117,7 @@ TEST(EventQueue, CancelAfterExecuteFailsAndKeepsPendingConsistent)
     EXPECT_FALSE(q.cancel(h)); // must reject: already executed
     EXPECT_EQ(q.pending(), 0u); // and never underflow
     EXPECT_TRUE(q.empty());
-    q.schedule(20, [&] { ++fired; });
+    (void)q.schedule(20, [&] { ++fired; });
     EXPECT_EQ(q.pending(), 1u);
     EXPECT_FALSE(q.empty());
     EXPECT_EQ(q.run(), 1u);
@@ -194,9 +195,9 @@ TEST(EventQueue, RunLimitLeavesNowAtLastExecutedEvent)
     // tombstones must not advance it.
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&] { ++fired; });
+    (void)q.schedule(10, [&] { ++fired; });
     auto h = q.schedule(40, [&] { ++fired; });
-    q.schedule(90, [&] { ++fired; });
+    (void)q.schedule(90, [&] { ++fired; });
     q.cancel(h);
     EXPECT_EQ(q.run(50), 1u); // executes tick 10; tick-40 is a tombstone
     EXPECT_EQ(q.now(), 10u);
@@ -218,12 +219,12 @@ TEST(EventQueue, SlabSlotsAreRecycled)
     EventQueue q;
     int sink = 0;
     for (int i = 0; i < 4; ++i)
-        q.schedule(static_cast<Tick>(i), [&] { ++sink; });
+        (void)q.schedule(static_cast<Tick>(i), [&] { ++sink; });
     q.run();
     const std::size_t watermark = q.slabSize();
     for (int round = 0; round < 64; ++round) {
         for (int i = 0; i < 4; ++i)
-            q.scheduleIn(static_cast<Tick>(1 + i), [&] { ++sink; });
+            (void)q.scheduleIn(static_cast<Tick>(1 + i), [&] { ++sink; });
         q.run();
     }
     EXPECT_EQ(q.slabSize(), watermark);
@@ -236,7 +237,7 @@ TEST(EventQueue, MoveOnlyAndLargeCapturesWork)
     // Move-only capture (std::function would reject this).
     auto ptr = std::make_unique<int>(41);
     int got = 0;
-    q.schedule(1, [p = std::move(ptr), &got] { got = *p + 1; });
+    (void)q.schedule(1, [p = std::move(ptr), &got] { got = *p + 1; });
     // Capture larger than the inline buffer: heap fallback path.
     struct Big
     {
@@ -245,7 +246,7 @@ TEST(EventQueue, MoveOnlyAndLargeCapturesWork)
     big.words[15] = 7;
     std::uint64_t gotBig = 0;
     static_assert(sizeof(Big) > sim::EventFn::kInlineBytes);
-    q.schedule(2, [big, &gotBig] { gotBig = big.words[15]; });
+    (void)q.schedule(2, [big, &gotBig] { gotBig = big.words[15]; });
     q.run();
     EXPECT_EQ(got, 42);
     EXPECT_EQ(gotBig, 7u);
@@ -266,7 +267,7 @@ TEST(EventQueue, PendingCountsUncancelled)
 {
     EventQueue q;
     auto a = q.schedule(10, [] {});
-    q.schedule(20, [] {});
+    (void)q.schedule(20, [] {});
     EXPECT_EQ(q.pending(), 2u);
     q.cancel(a);
     EXPECT_EQ(q.pending(), 1u);
@@ -278,8 +279,8 @@ TEST(EventQueue, StepExecutesExactlyOne)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(1, [&] { ++fired; });
-    q.schedule(2, [&] { ++fired; });
+    (void)q.schedule(1, [&] { ++fired; });
+    (void)q.schedule(2, [&] { ++fired; });
     EXPECT_TRUE(q.step());
     EXPECT_EQ(fired, 1);
     EXPECT_TRUE(q.step());
@@ -448,6 +449,29 @@ TEST(Types, TickConversions)
     EXPECT_DOUBLE_EQ(ticksToUs(kTicksPerUs), 1.0);
     EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
     EXPECT_DOUBLE_EQ(ticksToSec(kTicksPerSec), 1.0);
+}
+
+TEST(Logging, AssertPassesQuietly)
+{
+    const int three = 3;
+    pm_assert(three == 3);
+    pm_assert(three > 0, "context %d never printed", three);
+}
+
+TEST(Logging, AssertPrintsCondition)
+{
+    const int three = 3;
+    EXPECT_DEATH(pm_assert(three == 4),
+                 "assertion failed: three == 4");
+}
+
+TEST(Logging, AssertPrintsFormattedMessageWithCondition)
+{
+    // Regression: the message after the condition used to be silently
+    // dropped — only the stringified condition was ever printed.
+    const unsigned seq = 41;
+    EXPECT_DEATH(pm_assert(seq + 1 == 41, "dst %u lost seq %u", 3u, seq),
+                 "assertion failed: seq \\+ 1 == 41: dst 3 lost seq 41");
 }
 
 } // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A minimal C++ scanner for pmlint.
+ *
+ * This is not a compiler front end: pmlint's rules are token-level
+ * heuristics, so the lexer only needs to (a) produce identifier /
+ * number / punctuator tokens with line numbers, (b) skip comments,
+ * string literals and character literals so words inside them never
+ * trigger a rule, (c) capture `// pmlint: ...` suppression
+ * annotations, and (d) record preprocessor directives (`#include`,
+ * `#ifndef`, `#define`, `#endif`) separately, because the
+ * include-guard and iostream rules work on directives, not tokens.
+ */
+
+#ifndef PM_TOOLS_PMLINT_LEXER_HH
+#define PM_TOOLS_PMLINT_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmlint {
+
+/** One significant token of a translation unit. */
+struct Token
+{
+    enum class Kind {
+        Ident, //!< Identifier or keyword (the lexer does not distinguish).
+        Number, //!< Integer or floating literal (digit separators kept).
+        String, //!< String literal (contents dropped; text is "").
+        CharLit, //!< Character literal (contents dropped).
+        Punct, //!< Operator / punctuator, longest-match ("::", "++", ...).
+    };
+
+    Kind kind;
+    std::string text;
+    int line; //!< 1-based source line the token starts on.
+};
+
+/** One preprocessor directive (continuation lines are swallowed). */
+struct PpDirective
+{
+    int line; //!< 1-based line of the '#'.
+    std::string name; //!< "include", "ifndef", "define", "endif", ...
+    std::string rest; //!< Remainder of the first line, trimmed.
+};
+
+/** A `// pmlint: <name>-ok(<reason>)` suppression annotation. */
+struct Annotation
+{
+    int line;
+    std::string name; //!< e.g. "unordered-ok" (everything before '(').
+    std::string reason; //!< Text inside the parentheses; may be empty.
+    bool wellFormed; //!< Parsed as name-ok(non-empty reason).
+};
+
+/** The scanned form of one source file. */
+struct SourceFile
+{
+    std::string relPath; //!< Path relative to the scan root ('/'-separated).
+    std::vector<Token> tokens;
+    std::vector<PpDirective> directives;
+    std::vector<Annotation> annotations;
+
+    /** True when `rule` is suppressed on `line` (annotation on the
+     *  same line or the line immediately above). */
+    bool suppressed(const std::string &rule, int line) const;
+};
+
+/**
+ * Scan `text` into tokens / directives / annotations.
+ * Never fails: unrecognized bytes are skipped (pmlint must not die on
+ * exotic source).
+ */
+SourceFile scan(std::string relPath, const std::string &text);
+
+/** Map an annotation name ("unordered-ok") to the rule it silences. */
+const std::map<std::string, std::string> &annotationRules();
+
+} // namespace pmlint
+
+#endif // PM_TOOLS_PMLINT_LEXER_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The pmlint rule set. Each rule walks a scanned SourceFile and emits
+ * diagnostics; see DESIGN.md "Determinism & event-kernel rules" for
+ * what each rule fences and why.
+ */
+
+#ifndef PM_TOOLS_PMLINT_RULES_HH
+#define PM_TOOLS_PMLINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace pmlint {
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string relPath;
+    int line;
+    std::string rule; //!< Stable rule id, e.g. "banned-ident".
+    std::string message;
+
+    bool
+    operator<(const Diagnostic &o) const
+    {
+        if (relPath != o.relPath)
+            return relPath < o.relPath;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/** Run every rule over one scanned file. */
+std::vector<Diagnostic> checkFile(const SourceFile &file);
+
+} // namespace pmlint
+
+#endif // PM_TOOLS_PMLINT_RULES_HH
