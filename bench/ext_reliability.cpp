@@ -83,6 +83,20 @@ zeroFaultOverhead()
         bw > 59.9 * 1.01)
         pm_panic("reliability protocol perturbed the fault-free "
                  "anchors");
+
+    // Same anchors with the health watchdog scanning: the monitor is
+    // read-only, so an enabled watchdog must not move either number.
+    msg::System watched(baseParams());
+    watched.health().enableWatchdog(5 * kTicksPerUs,
+                                    1000 * kTicksPerUs);
+    const double latW = msg::measureOneWayLatencyUs(watched, 0, 1, 8);
+    const double bwW = msg::measureUnidirectionalMBps(watched, 0, 1, 16384);
+    std::printf("      with watchdog: %.3f us, %.1f MB/s (%.0f scans)\n",
+                latW, bwW, watched.health().scans());
+    if (latW != lat || bwW != bw)
+        pm_panic("enabled watchdog perturbed the fault-free anchors "
+                 "(%.3f vs %.3f us, %.1f vs %.1f MB/s)",
+                 latW, lat, bwW, bw);
 }
 
 } // namespace

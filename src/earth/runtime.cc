@@ -24,16 +24,16 @@ enum Op : std::uint64_t {
 NodeRt::NodeRt(Runtime &rt, unsigned nodeId)
     : _rt(rt),
       _nodeId(nodeId),
-      _comm(rt.system(), nodeId)
+      _comm(rt.system(), nodeId, /*cpu=*/0, /*net=*/0, rt.costs().driver)
 {
     // CRC failures are absorbed by the driver's retransmit protocol;
-    // only an exhausted retry budget (a dead link) reaches the runtime,
-    // and EARTH has no answer to a lost token but to stop.
-    _comm.onDeliveryFailure([this](unsigned dst, std::uint64_t seq) {
-        pm_panic("earth: node %u gave up delivering token seq %llu to "
-                 "node %u (retry budget exhausted)",
-                 _nodeId, (unsigned long long)seq, dst);
-    });
+    // only an exhausted retry budget (a dead link) reaches the runtime.
+    // Rather than stopping the whole machine, mark the peer dead and
+    // degrade: its tokens are written off and the survivors keep going.
+    _comm.onDeliveryFailure(
+        [this](unsigned dst, std::uint64_t seq, unsigned abandoned) {
+            _rt.peerDied(*this, dst, seq, abandoned);
+        });
     armReceiver();
 }
 
@@ -147,7 +147,7 @@ NodeRt::getRemote(unsigned node, Addr addr, std::uint64_t *dest,
         return;
     }
     const std::uint32_t getId = _nextGet++;
-    _getDest[getId] = dest;
+    _gets[getId] = PendingGet{dest, node, slot};
     send(node, {kGetReq, addr, _nodeId, getId, slot.node, slot.id});
 }
 
@@ -168,13 +168,35 @@ void
 NodeRt::send(unsigned dstNode, std::vector<std::uint64_t> token)
 {
     ++_rt._inFlight;
+    _rt._lastToken = _rt.system().queue().now();
     _comm.postSend(dstNode, std::move(token));
+}
+
+void
+NodeRt::failPendingGets(unsigned deadPeer)
+{
+    for (auto it = _gets.begin(); it != _gets.end();) {
+        if (it->second.target != deadPeer) {
+            ++it;
+            continue;
+        }
+        // The value can never arrive, and fabricating one would be
+        // worse than silence — drop the request without firing the
+        // sync slot. The program learns of the gap via onPeerDeath.
+        pm_warn("earth: node %u abandoning GET %u to dead node %u "
+                "(slot %u@%u will not fire)",
+                _nodeId, it->first, deadPeer, it->second.slot.id,
+                it->second.slot.node);
+        ++getsFailed;
+        it = _gets.erase(it);
+    }
 }
 
 void
 NodeRt::handleToken(std::vector<std::uint64_t> w)
 {
     --_rt._inFlight;
+    _rt._lastToken = _rt.system().queue().now();
     proc().stallCycles(_rt.costs().requestHandling);
     if (w.empty())
         pm_panic("earth: empty token");
@@ -202,11 +224,11 @@ NodeRt::handleToken(std::vector<std::uint64_t> w)
       }
       case kGetReply: {
         const std::uint32_t getId = static_cast<std::uint32_t>(w[1]);
-        auto it = _getDest.find(getId);
-        if (it == _getDest.end())
+        auto it = _gets.find(getId);
+        if (it == _gets.end())
             pm_panic("earth: GET reply for unknown request %u", getId);
-        *it->second = w[2];
-        _getDest.erase(it);
+        *it->second.dest = w[2];
+        _gets.erase(it);
         sync(SlotRef{static_cast<unsigned>(w[3]),
                      static_cast<std::uint32_t>(w[4])});
         return;
@@ -254,8 +276,15 @@ Runtime::Runtime(msg::System &sys, EarthCosts costs)
       _costs(costs)
 {
     sys.resetForRun();
+    sys.health().add(this);
+    _lastToken = sys.queue().now();
     for (unsigned n = 0; n < sys.numNodes(); ++n)
         _nodes.push_back(std::make_unique<NodeRt>(*this, n));
+}
+
+Runtime::~Runtime()
+{
+    _sys.health().remove(this);
 }
 
 void
@@ -304,6 +333,62 @@ Runtime::run()
     for (const auto &n : _nodes)
         end = std::max(end, n->_comm.proc().time());
     return end > start ? end - start : 0;
+}
+
+// ---- Graceful peer-death degradation. -------------------------------------
+
+void
+Runtime::peerDied(NodeRt &node, unsigned deadPeer, std::uint64_t seq,
+                  unsigned abandoned)
+{
+    pm_warn("earth: node %u gave up on node %u at seq %llu "
+            "(%u tokens written off); degrading without it",
+            node.nodeId(), deadPeer, (unsigned long long)seq, abandoned);
+    _deadPeers.insert(deadPeer);
+    // The abandoned tokens will never be handled; leaving them counted
+    // would turn every later run() into the deadlock panic. Clamped:
+    // the driver reports an upper bound (a lost ACK makes delivery of
+    // the oldest message ambiguous — two-generals).
+    _inFlight -= std::min<std::uint64_t>(_inFlight, abandoned);
+    node.failPendingGets(deadPeer);
+    if (_onPeerDeath)
+        _onPeerDeath(node.nodeId(), deadPeer);
+}
+
+std::vector<unsigned>
+Runtime::deadPeers() const
+{
+    return {_deadPeers.begin(), _deadPeers.end()};
+}
+
+void
+Runtime::checkHealth(sim::health::Check &check)
+{
+    if (_inFlight > 0 && check.expired(_lastToken))
+        check.report("%llu token(s) in flight but none handled since "
+                     "tick %llu (fibers starved?)",
+                     (unsigned long long)_inFlight,
+                     (unsigned long long)_lastToken);
+}
+
+void
+Runtime::dumpState(std::ostream &os) const
+{
+    os << "  inFlight=" << _inFlight << " deadPeers={";
+    const char *sep = "";
+    for (unsigned p : _deadPeers) {
+        os << sep << p;
+        sep = ",";
+    }
+    os << "}\n";
+    for (const auto &n : _nodes) {
+        os << "  node" << n->_nodeId << ": ready=" << n->_ready.size()
+           << " slots=" << n->_slots.size()
+           << " pendingGets=" << n->_gets.size()
+           << " euScheduled="
+           << (_sys.queue().scheduled(n->_euEvent) ? "yes" : "no")
+           << "\n";
+    }
 }
 
 } // namespace pm::earth

@@ -33,11 +33,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <ostream>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "msg/driver.hh"
 #include "msg/system.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 #include "sim/stats.hh"
 
 namespace pm::earth {
@@ -65,6 +69,8 @@ struct EarthCosts
     Cycles fiberDispatch = 30; //!< EU: pick + start one ready fiber.
     Cycles syncUpdate = 15; //!< SU: decrement a sync slot.
     Cycles requestHandling = 40; //!< SU: decode + serve a remote op.
+    msg::DriverCosts driver{}; //!< Transport knobs (retry budget etc.)
+                               //!< for every node's PmComm.
 };
 
 /** One node's EARTH runtime (EU + SU on the node CPU). */
@@ -128,6 +134,7 @@ class NodeRt
     sim::Scalar fibersRun{"fibers_run", ""};
     sim::Scalar syncsHandled{"syncs", ""};
     sim::Scalar remoteOps{"remote_ops", ""};
+    sim::Scalar getsFailed{"gets_failed", ""};
 
   private:
     friend class Runtime;
@@ -138,6 +145,14 @@ class NodeRt
         FiberFn continuation;
     };
 
+    /** A GET_SYNC awaiting its reply from `target`. */
+    struct PendingGet
+    {
+        std::uint64_t *dest = nullptr;
+        unsigned target = 0;
+        SlotRef slot;
+    };
+
     Runtime &_rt;
     unsigned _nodeId;
     msg::PmComm _comm;
@@ -145,11 +160,12 @@ class NodeRt
     std::map<std::uint32_t, Slot> _slots;
     std::uint32_t _nextSlot = 1;
     std::map<Addr, std::uint64_t> _memory; //!< This node's global slice.
-    std::map<std::uint32_t, std::uint64_t *> _getDest;
+    std::map<std::uint32_t, PendingGet> _gets;
     std::uint32_t _nextGet = 1;
     sim::EventHandle _euEvent; //!< Live while an EU step is queued.
 
     void armReceiver();
+    void failPendingGets(unsigned deadPeer);
     void handleToken(std::vector<std::uint64_t> token);
     void scheduleEu();
     void euStep();
@@ -157,8 +173,15 @@ class NodeRt
     void send(unsigned dstNode, std::vector<std::uint64_t> token);
 };
 
+/**
+ * Called when a node's transport gives up on a peer for good.
+ * @param node The node whose send exhausted the retry budget.
+ * @param deadPeer The peer now considered dead machine-wide.
+ */
+using PeerDeathFn = std::function<void(unsigned node, unsigned deadPeer)>;
+
 /** The machine-wide EARTH runtime. */
-class Runtime
+class Runtime : public sim::health::Reporter
 {
   public:
     /**
@@ -166,6 +189,8 @@ class Runtime
      * @param costs Software overhead knobs.
      */
     explicit Runtime(msg::System &sys, EarthCosts costs = {});
+
+    ~Runtime() override;
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;
@@ -191,6 +216,31 @@ class Runtime
      */
     Tick run();
 
+    // ---- Graceful peer-death degradation. ------------------------------
+
+    /**
+     * Nodes some transport has given up on (retry budget exhausted),
+     * ascending. The rest of the machine keeps running: tokens bound
+     * for a dead peer fail instead of hanging the run, GETs awaiting
+     * its reply are dropped (their sync slot never fires — the program
+     * observes the gap through onPeerDeath), and run() still returns
+     * when the survivors go quiescent.
+     */
+    std::vector<unsigned> deadPeers() const;
+
+    /** Install a handler invoked once per (node, dead peer) report. */
+    void onPeerDeath(PeerDeathFn fn) { _onPeerDeath = std::move(fn); }
+
+    /** @name sim::health::Reporter */
+    /// @{
+    const std::string &healthName() const override
+    {
+        return _healthName;
+    }
+    void checkHealth(sim::health::Check &check) override;
+    void dumpState(std::ostream &os) const override;
+    /// @}
+
   private:
     friend class NodeRt;
 
@@ -199,9 +249,15 @@ class Runtime
     std::vector<std::unique_ptr<NodeRt>> _nodes;
     std::map<std::uint32_t, ThreadedFn> _functions;
     std::uint64_t _inFlight = 0; //!< Tokens sent but not yet handled.
+    std::set<unsigned> _deadPeers;
+    PeerDeathFn _onPeerDeath;
+    Tick _lastToken = 0; //!< Last send or token handled, for health.
+    std::string _healthName = "earth";
 
     bool quiescent() const;
     const ThreadedFn &function(std::uint32_t fnId) const;
+    void peerDied(NodeRt &node, unsigned deadPeer, std::uint64_t seq,
+                  unsigned abandoned);
 };
 
 } // namespace pm::earth

@@ -87,10 +87,12 @@ PmComm::PmComm(System &sys, unsigned nodeId, unsigned cpu, unsigned net,
     _stats.add(&nacksSent);
     _stats.add(&deliveryFailures);
     sys.addResettable(this);
+    sys.health().add(this);
 }
 
 PmComm::~PmComm()
 {
+    _sys.health().remove(this);
     _sys.removeResettable(this);
     // Harmlessly return false for events that already ran.
     _sys.queue().cancel(_engineEvent);
@@ -114,6 +116,7 @@ PmComm::resetForRun()
     _rx.clear();
     _cur = {};
     _stash.clear();
+    _lastProgress = _sys.queue().now();
 }
 
 bool
@@ -152,7 +155,7 @@ PmComm::postSend(unsigned dstNode, std::vector<std::uint64_t> payload,
         // fail fast instead of queueing behind a dead link.
         ++deliveryFailures;
         if (_onFailure) {
-            _onFailure(dstNode, peer.nextSeq);
+            _onFailure(dstNode, peer.nextSeq, /*abandoned=*/1);
             return;
         }
         pm_panic("driver node%u: send to node %u after delivery failure",
@@ -168,6 +171,7 @@ PmComm::postSend(unsigned dstNode, std::vector<std::uint64_t> payload,
         std::move(payload));
     peer.unackedWords += sp->size();
     peer.unacked.push_back(Unacked{seq, sp, srcAddr, true});
+    peer.lastAdvance = _sys.queue().now();
 
     SendOp op;
     op.dst = dstNode;
@@ -400,6 +404,7 @@ PmComm::finishMessage()
     }
     peer.expect = static_cast<std::uint16_t>(peer.expect + 1);
     ++messagesReceived;
+    _ring.push(_sys.queue().now(), "recvd", h.src, h.seq);
     noteDelivered(h.src);
     pm_trace(_proc.time(), "driver",
              "node%u: received %zu-word message seq %u from %u",
@@ -518,6 +523,7 @@ PmComm::handleAck(unsigned src, std::uint16_t ack)
     if (progress) {
         peer.strikes = 0;
         peer.backoff = 0;
+        peer.lastAdvance = _sys.queue().now();
         _sys.queue().cancel(peer.timer);
         armRetransTimer(src, peer);
     }
@@ -570,6 +576,7 @@ PmComm::retransTimerFired(unsigned dst)
     if (peer.dead || peer.unacked.empty())
         return;
     ++timeouts;
+    _ring.push(_sys.queue().now(), "timeout", dst, peer.strikes + 1);
     peer.backoff = std::min(peer.backoff + 1, 12u);
     pm_trace(_sys.queue().now(), "driver",
              "node%u: retransmit timeout to %u (strike %u, backoff %u)",
@@ -598,8 +605,11 @@ PmComm::fail(unsigned dst, TxPeer &peer)
     _sys.queue().cancel(peer.timer);
     const std::uint16_t seq =
         peer.unacked.empty() ? peer.nextSeq : peer.unacked.front().seq;
+    const unsigned abandoned =
+        static_cast<unsigned>(peer.unacked.size());
     peer.unacked.clear();
     peer.unackedWords = 0;
+    _ring.push(_sys.queue().now(), "peer-dead", dst, abandoned);
     // Drop queued sends to the dead destination (a started op finishes
     // its wire protocol so the link stays consistent).
     for (auto it = _sends.begin(); it != _sends.end();) {
@@ -613,12 +623,12 @@ PmComm::fail(unsigned dst, TxPeer &peer)
              "node%u: delivery to %u FAILED at seq %u", _nodeId, dst,
              seq);
     if (_onFailure) {
-        _onFailure(dst, seq);
+        _onFailure(dst, seq, abandoned);
         return;
     }
     pm_panic("driver node%u: message seq %u to node %u undeliverable "
-             "after %u retries",
-             _nodeId, seq, dst, _costs.maxRetries);
+             "after %u retries (%u messages abandoned)",
+             _nodeId, seq, dst, _costs.maxRetries, abandoned);
 }
 
 /**
@@ -712,8 +722,10 @@ PmComm::serviceSend()
                 ++nacksSent;
         } else if (op.retransmit) {
             ++retransmits;
+            _ring.push(_sys.queue().now(), "retransmit", op.dst, op.seq);
         } else {
             ++messagesSent;
+            _ring.push(_sys.queue().now(), "sent", op.dst, op.seq);
         }
         if (!op.control) {
             TxPeer &peer = _tx[op.dst];
@@ -739,6 +751,85 @@ PmComm::serviceSend()
     return progress;
 }
 
+// ---- Health. -----------------------------------------------------------
+
+std::vector<unsigned>
+PmComm::deadPeers() const
+{
+    std::vector<unsigned> dead;
+    // std::map iteration: already ascending, so deterministic.
+    for (const auto &[dst, peer] : _tx)
+        if (peer.dead)
+            dead.push_back(dst);
+    return dead;
+}
+
+void
+PmComm::checkHealth(sim::health::Check &check)
+{
+    for (const auto &[dst, peer] : _tx) {
+        if (peer.dead || peer.unacked.empty())
+            continue;
+        if (check.expired(peer.lastAdvance))
+            check.report("retransmit queue to node %u not draining "
+                         "(%zu unACKed from seq %u, %u strikes) since "
+                         "tick %llu",
+                         dst, peer.unacked.size(),
+                         peer.unacked.front().seq, peer.strikes,
+                         (unsigned long long)peer.lastAdvance);
+    }
+    if (!_sends.empty() && check.expired(_lastProgress))
+        check.report("send queue stalled (%zu queued, head to node %u%s) "
+                     "since tick %llu",
+                     _sends.size(), _sends.front().dst,
+                     _sends.front().started ? ", started" : "",
+                     (unsigned long long)_lastProgress);
+}
+
+void
+PmComm::audit(sim::health::Auditor &audit)
+{
+    audit.check(_sends.empty(), "%zu sends still queued", _sends.size());
+    audit.check(!_cur.haveHeader, "a message is half-assembled");
+    for (const auto &[dst, peer] : _tx) {
+        if (peer.dead)
+            continue; // abandoned window, by design
+        audit.check(peer.unacked.empty(),
+                    "%zu messages to node %u still unACKed",
+                    peer.unacked.size(), dst);
+    }
+    if (audit.point() == sim::health::Auditor::Point::PostReset) {
+        audit.check(_recvs.empty(), "%zu receives still posted",
+                    _recvs.size());
+        audit.check(_stash.empty(), "%zu stashed deliveries",
+                    _stash.size());
+        audit.check(_tx.empty() && _rx.empty(),
+                    "peer state survived the reset");
+    }
+}
+
+void
+PmComm::dumpState(std::ostream &os) const
+{
+    os << "  queues: sends=" << _sends.size() << " recvs=" << _recvs.size()
+       << " stash=" << _stash.size()
+       << " curHeader=" << (_cur.haveHeader ? 1 : 0)
+       << " lastProgress=" << _lastProgress << "\n";
+    for (const auto &[dst, peer] : _tx) {
+        os << "  tx->" << dst << ": nextSeq=" << peer.nextSeq
+           << " unacked=" << peer.unacked.size();
+        if (!peer.unacked.empty())
+            os << " (from seq " << peer.unacked.front().seq << ")";
+        os << " strikes=" << peer.strikes << " backoff=" << peer.backoff
+           << (peer.dead ? " DEAD" : "")
+           << " lastAdvance=" << peer.lastAdvance << "\n";
+    }
+    for (const auto &[src, peer] : _rx)
+        os << "  rx<-" << src << ": expect=" << peer.expect
+           << " sinceAck=" << peer.sinceAck << "\n";
+    _ring.dump(os);
+}
+
 bool
 PmComm::workPending() const
 {
@@ -756,6 +847,8 @@ PmComm::engine()
     // network longer than one burst.
     bool progress = serviceRecv();
     progress |= serviceSend();
+    if (progress)
+        _lastProgress = _sys.queue().now();
 
     if (!workPending())
         return;

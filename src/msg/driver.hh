@@ -60,6 +60,7 @@
 #include "ni/linkinterface.hh"
 #include "sim/clock.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 #include "sim/stats.hh"
 
 namespace pm::msg {
@@ -100,12 +101,17 @@ struct DriverCosts
 using RecvCallback =
     std::function<void(std::vector<std::uint64_t> payload, bool crcOk)>;
 
-/** Invoked when a message exhausts its retry budget. */
-using DeliveryFailureFn =
-    std::function<void(unsigned dstNode, std::uint64_t seq)>;
+/**
+ * Invoked when a message exhausts its retry budget. `abandoned` is the
+ * number of messages dropped from the retransmit window — an upper
+ * bound on undelivered messages (a message delivered whose ACK was
+ * lost is also counted: the two-generals ambiguity is real).
+ */
+using DeliveryFailureFn = std::function<void(
+    unsigned dstNode, std::uint64_t seq, unsigned abandoned)>;
 
 /** One node's user-level communication endpoint. */
-class PmComm : public Resettable
+class PmComm : public Resettable, public sim::health::Reporter
 {
   public:
     /**
@@ -183,6 +189,24 @@ class PmComm : public Resettable
      */
     [[nodiscard]] bool quiescent() const;
 
+    /**
+     * Destinations whose retry budget this endpoint has exhausted,
+     * ascending. The rest of the machine keeps running — sends to a
+     * dead peer fail fast through the delivery-failure handler.
+     */
+    [[nodiscard]] std::vector<unsigned> deadPeers() const;
+
+    /** @name sim::health::Reporter */
+    /// @{
+    const std::string &healthName() const override
+    {
+        return _stats.name();
+    }
+    void checkHealth(sim::health::Check &check) override;
+    void audit(sim::health::Auditor &audit) override;
+    void dumpState(std::ostream &os) const override;
+    /// @}
+
     /** All driver counters (also reachable as public members). */
     sim::StatGroup &stats() { return _stats; }
 
@@ -246,6 +270,7 @@ class PmComm : public Resettable
         unsigned backoff = 0; //!< Timeout doublings.
         bool dead = false; //!< Retry budget exhausted.
         sim::EventHandle timer;
+        Tick lastAdvance = 0; //!< Last tick the unACKed window moved.
     };
 
     /** Per-source receiver state. */
@@ -283,6 +308,8 @@ class PmComm : public Resettable
     std::deque<std::vector<std::uint64_t>> _stash;
     DeliveryFailureFn _onFailure;
     sim::EventHandle _engineEvent; //!< Live while the engine is queued.
+    Tick _lastProgress = 0; //!< Last tick the engine moved anything.
+    sim::health::EventRing _ring; //!< Recent protocol events.
 
     void kick();
     void scheduleEngine(Tick when);

@@ -24,13 +24,20 @@ namespace {
  * the receive count hits, and leaving them on the wire would pollute a
  * later run on the same machine. Quiescence, not idleness: an echo
  * server's perpetually re-armed receive keeps its driver polling (and
- * the event queue non-empty) forever.
+ * the event queue non-empty) forever. Endpoint quiescence alone is
+ * also not enough — a duplicate retransmit can still be mid-fabric
+ * after both ends went idle (the original's ACK overtook it), so the
+ * drain additionally waits for the wires to empty, then runs the
+ * quiescent-machine conservation audit.
  */
 void
 drainToIdle(System &sys, PmComm &x, PmComm &y)
 {
-    while ((!x.quiescent() || !y.quiescent()) && sys.queue().step()) {
+    while ((!x.quiescent() || !y.quiescent() ||
+            !sys.fabric().wireQuiet()) &&
+           sys.queue().step()) {
     }
+    sys.auditQuiescent("probe drain");
 }
 
 } // namespace
@@ -177,23 +184,31 @@ measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
 SoakResult
 runDeliverySoak(System &sys, unsigned a, unsigned b,
                 std::uint64_t bytes, unsigned count,
-                std::uint64_t seed, unsigned window)
+                std::uint64_t seed, unsigned window,
+                std::ostream *statsOut)
 {
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);
 
     SoakResult res;
-    bool senderDead = false;
-    commA.onDeliveryFailure(
-        [&](unsigned, std::uint64_t) { senderDead = true; });
-    commB.onDeliveryFailure([&](unsigned, std::uint64_t) {});
+    commA.onDeliveryFailure([&](unsigned, std::uint64_t, unsigned) {
+        res.senderDead = true;
+    });
+    // The receiver's send path carries the ACK/NACK stream; if *it*
+    // exhausts a retry budget the sender can never learn its messages
+    // landed. Count it — swallowing these silently turned a dead
+    // reverse channel into an unexplained stall.
+    commB.onDeliveryFailure([&](unsigned, std::uint64_t, unsigned) {
+        res.receiverFailures += 1.0;
+        res.receiverDead = true;
+    });
 
     // Keep at most `window` sends posted at once: go-back-N with an
     // unbounded window retransmits everything behind one loss.
     unsigned posted = 0;
     std::function<void()> postNext = [&] {
-        if (posted >= count || senderDead)
+        if (posted >= count || res.senderDead)
             return;
         const unsigned i = posted++;
         commA.postSend(b, makePayload(bytes, seed + i),
@@ -214,11 +229,21 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
     armRecv();
     for (unsigned i = 0; i < window && i < count; ++i)
         postNext();
-    while (res.delivered < count && !senderDead && sys.queue().step()) {
+    while (res.delivered < count && !res.senderDead &&
+           !res.receiverDead && sys.queue().step()) {
     }
-    // Let in-flight ACKs and timers drain so both endpoints go idle
-    // and the counters are final.
-    while ((!commA.idle() || !commB.idle()) && sys.queue().step()) {
+    if (!res.senderDead && !res.receiverDead) {
+        // Let in-flight ACKs and timers drain so both endpoints go
+        // idle, the wires empty, and the counters are final. With a
+        // dead peer this would spin forever: a started send to the
+        // dead destination stays wedged in the queue by design, so
+        // idle() can never become true — skip the drain (and the
+        // quiet-machine audit) and report what happened instead.
+        while ((!commA.idle() || !commB.idle() ||
+                !sys.fabric().wireQuiet()) &&
+               sys.queue().step()) {
+        }
+        sys.auditQuiescent("soak drain");
     }
     res.elapsedUs = ticksToUs(sys.queue().now() - started);
     if (res.delivered != count)
@@ -235,6 +260,10 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
     res.acksSent = sum(&PmComm::acksSent);
     res.nacksSent = sum(&PmComm::nacksSent);
     res.deliveryFailures = sum(&PmComm::deliveryFailures);
+    if (statsOut != nullptr) {
+        commA.stats().dump(*statsOut);
+        commB.stats().dump(*statsOut);
+    }
     return res;
 }
 

@@ -66,6 +66,9 @@ struct SoakResult
     double acksSent = 0.0;
     double nacksSent = 0.0;
     double deliveryFailures = 0.0;
+    double receiverFailures = 0.0; //!< Receiver-side (ACK/NACK path).
+    bool senderDead = false; //!< Sender exhausted a retry budget.
+    bool receiverDead = false; //!< Receiver exhausted a retry budget.
 };
 
 /**
@@ -77,11 +80,15 @@ struct SoakResult
  * probe the bounded-retry guarantee too.
  * @param window Sends kept in flight at once (go-back-N works best
  *        with a bounded window; this paces postSend, not the wire).
+ * @param statsOut When non-null, both endpoints' full driver stat
+ *        groups are dumped here before the endpoints are torn down
+ *        (pmsim --stats; the counters die with the PmComms).
  */
 SoakResult runDeliverySoak(System &sys, unsigned a, unsigned b,
                            std::uint64_t bytes, unsigned count,
                            std::uint64_t seed = 12345,
-                           unsigned window = 16);
+                           unsigned window = 16,
+                           std::ostream *statsOut = nullptr);
 
 } // namespace pm::msg
 

@@ -1,5 +1,6 @@
 #include "msg/system.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace pm::msg {
@@ -8,6 +9,7 @@ System::System(const SystemParams &params)
     : _p(params)
 {
     _fabric = std::make_unique<net::Fabric>(_p.fabric, _queue);
+    _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
         node::NodeParams np = _p.node;
         np.name = np.name + ".node" + std::to_string(i);
@@ -26,6 +28,63 @@ System::resetForRun()
     }
     for (Resettable *r : _resettables)
         r->resetForRun();
+    // The reset voided any in-flight symbols, so the old baselines no
+    // longer balance; re-snapshot before auditing the empty machine.
+    snapshotAuditBaselines();
+    _health.runAudit(sim::health::Auditor::Point::PostReset,
+                     "resetForRun");
+}
+
+void
+System::sumNiWords(double &sent, double &received)
+{
+    sent = 0.0;
+    received = 0.0;
+    for (unsigned net = 0; net < _p.fabric.networks; ++net) {
+        for (unsigned n = 0; n < _fabric->numNodes(); ++n) {
+            const ni::LinkInterface &ni = _fabric->ni(n, net);
+            sent += ni.wordsSent.value();
+            received += ni.wordsReceived.value();
+        }
+    }
+}
+
+void
+System::snapshotAuditBaselines()
+{
+    sumNiWords(_auditBaseSent, _auditBaseReceived);
+    _auditBaseDropped =
+        _p.fabric.fault ? _p.fabric.fault->wordsDropped.value() : 0.0;
+}
+
+void
+System::auditQuiescent(const char *where)
+{
+    if (!_health.auditsEnabled())
+        return;
+    double sent = 0.0;
+    double received = 0.0;
+    sumNiWords(sent, received);
+    const double dropped =
+        _p.fabric.fault ? _p.fabric.fault->wordsDropped.value() : 0.0;
+    const double dSent = sent - _auditBaseSent;
+    const double dReceived = received - _auditBaseReceived;
+    const double dDropped = dropped - _auditBaseDropped;
+    // Every payload word an NI sent since the last audit must by now
+    // have been received by an NI or dropped by fault injection —
+    // there is nowhere else for a word to be once the wires are quiet.
+    // (The hardware CRC word is counted on neither side: inserted
+    // after wordsSent, stripped before wordsReceived. A *dropped* CRC
+    // word books as one received-side short-fall plus one drop, which
+    // still balances.)
+    if (dSent != dReceived + dDropped) {
+        pm_panic("conservation audit failed at %s: words sent %.0f != "
+                 "received %.0f + dropped %.0f (delta %.0f)",
+                 where, dSent, dReceived, dDropped,
+                 dSent - (dReceived + dDropped));
+    }
+    snapshotAuditBaselines();
+    _health.runAudit(sim::health::Auditor::Point::Quiescent, where);
 }
 
 } // namespace pm::msg

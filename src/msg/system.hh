@@ -14,6 +14,7 @@
 #include "net/topology.hh"
 #include "node/node.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 
 namespace pm::msg {
 
@@ -58,6 +59,23 @@ class System
     }
 
     /**
+     * The machine's health monitor: watchdog, auditors, forensic
+     * dumps. Every fabric component is registered at construction;
+     * endpoints (PmComm, EARTH runtimes) register themselves.
+     */
+    sim::health::Monitor &health() { return _health; }
+
+    /**
+     * Conservation + invariant audit for a wire-quiescent machine:
+     * words sent by all NIs since the last audit must equal words
+     * received plus words dropped by fault injection, and every
+     * registered reporter's quiet-machine invariants must hold.
+     * Callers must drain to Fabric::wireQuiet() first. No-op while
+     * health().auditsEnabled() is off.
+     */
+    void auditQuiescent(const char *where);
+
+    /**
      * Reset node caches/timing, link interfaces, and any registered
      * endpoints between experiment runs, and bring every processor's
      * local clock up to the event queue's current time (queue time is
@@ -74,9 +92,25 @@ class System
   private:
     SystemParams _p;
     sim::EventQueue _queue;
+    sim::health::Monitor _health{_queue};
     std::unique_ptr<net::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;
+
+    /**
+     * Conservation baselines: word counters at the last audit (or
+     * reset). Deltas, not lifetime sums — resetForRun() voids symbols
+     * still in flight, which would skew a cumulative balance forever.
+     */
+    double _auditBaseSent = 0.0;
+    double _auditBaseReceived = 0.0;
+    double _auditBaseDropped = 0.0;
+
+    /** Sum NI word counters across all networks and nodes. */
+    void sumNiWords(double &sent, double &received);
+
+    /** Re-snapshot the conservation baselines at current counters. */
+    void snapshotAuditBaselines();
 };
 
 } // namespace pm::msg

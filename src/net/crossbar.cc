@@ -19,7 +19,13 @@ Crossbar::Crossbar(const CrossbarParams &params, sim::EventQueue &queue)
         _in[i].fifo = std::make_unique<InputFifo>(
             _p.name + ".in" + std::to_string(i), _p.inputFifoSymbols);
         // A symbol arriving on an idle input must start the pump.
-        _in[i].fifo->setFillCallback([this, i] { schedulePump(i); });
+        // Arrival also counts as progress for the stall watchdog: a
+        // first symbol landing at tick T must get a full deadline from
+        // T, not from 0.
+        _in[i].fifo->setFillCallback([this, i] {
+            _in[i].lastMove = _queue.now();
+            schedulePump(i);
+        });
     }
     _stats.add(&routesEstablished);
     _stats.add(&symbolsForwarded);
@@ -65,11 +71,15 @@ Crossbar::reset()
         Input &in = _in[i];
         // clear() drops the persistent fill callback with the contents.
         in.fifo->clear();
-        in.fifo->setFillCallback([this, i] { schedulePump(i); });
+        in.fifo->setFillCallback([this, i] {
+            _in[i].lastMove = _queue.now();
+            schedulePump(i);
+        });
         in.target = -1;
         in.waiting = false;
         _queue.cancel(in.pumpEvent);
         in.pumpAt = 0;
+        in.lastMove = _queue.now();
     }
     for (auto &out : _out) {
         out.owner = -1;
@@ -110,19 +120,23 @@ Crossbar::pump(unsigned i)
         const Symbol &head = in.fifo->front();
         if (head.kind != SymKind::Route)
             pm_panic("crossbar %s: input %u got %s while unrouted "
-                     "(protocol violation)",
+                     "(protocol violation; fifo %u/%u)",
                      _p.name.c_str(), i,
-                     head.kind == SymKind::Data ? "data" : "close");
+                     head.kind == SymKind::Data ? "data" : "close",
+                     in.fifo->size(), in.fifo->capacity());
         const unsigned o = head.route;
         if (o >= _p.ports || !_out[o].tx)
-            pm_panic("crossbar %s: route to invalid output %u",
-                     _p.name.c_str(), o);
+            pm_panic("crossbar %s: route to invalid output %u "
+                     "(input %u, %u ports, fifo %u/%u)",
+                     _p.name.c_str(), o, i, _p.ports, in.fifo->size(),
+                     in.fifo->capacity());
         Output &out = _out[o];
         if (out.owner >= 0) {
             // Output busy: park until the current connection closes.
             ++routeConflicts;
             in.waiting = true;
             out.waiters.push_back(i);
+            _ring.push(_queue.now(), "park", i, o);
             return;
         }
         // Consume the route command, claim the output, and pay the
@@ -130,7 +144,9 @@ Crossbar::pump(unsigned i)
         (void)in.fifo->pop();
         out.owner = static_cast<int>(i);
         in.target = static_cast<int>(o);
+        in.lastMove = _queue.now();
         ++routesEstablished;
+        _ring.push(_queue.now(), "route", i, o);
         pm_trace(_queue.now(), "xbar", "%s: route in%u -> out%u",
                  _p.name.c_str(), i, o);
         schedulePumpAt(i, _queue.now() + _p.routeLatency);
@@ -152,6 +168,7 @@ Crossbar::pump(unsigned i)
 
     const Symbol sym = in.fifo->pop();
     ++symbolsForwarded;
+    in.lastMove = _queue.now();
     const Tick wireFree = tx.send(sym, _queue.now());
 
     if (sym.kind == SymKind::Close) {
@@ -162,6 +179,7 @@ Crossbar::pump(unsigned i)
                  _p.name.c_str(), i, o);
         in.target = -1;
         out.owner = -1;
+        _ring.push(_queue.now(), "close", i, o);
         if (!out.waiters.empty()) {
             const unsigned w = out.waiters.front();
             out.waiters.pop_front();
@@ -173,6 +191,98 @@ Crossbar::pump(unsigned i)
 
     if (!in.fifo->empty())
         schedulePumpAt(i, wireFree);
+}
+
+bool
+Crossbar::wireQuiet() const
+{
+    for (const Input &in : _in)
+        if (!in.fifo->empty() || in.target >= 0 || in.waiting)
+            return false;
+    for (const Output &out : _out)
+        if (out.tx && out.tx->inflight() != 0)
+            return false;
+    return true;
+}
+
+void
+Crossbar::checkHealth(sim::health::Check &check)
+{
+    for (unsigned i = 0; i < _p.ports; ++i) {
+        const Input &in = _in[i];
+        const bool active =
+            in.target >= 0 || in.waiting || !in.fifo->empty();
+        if (!active || !check.expired(in.lastMove))
+            continue;
+        if (in.waiting) {
+            // The unconsumed route command still names the output.
+            check.report("in%u parked on busy out%u since tick %llu "
+                         "(fifo %u/%u)",
+                         i, in.fifo->front().route,
+                         (unsigned long long)in.lastMove, in.fifo->size(),
+                         in.fifo->capacity());
+        } else if (in.target >= 0) {
+            check.report("circuit in%u -> out%d held since tick %llu "
+                         "(fifo %u/%u)",
+                         i, in.target, (unsigned long long)in.lastMove,
+                         in.fifo->size(), in.fifo->capacity());
+        } else {
+            check.report("in%u FIFO stuck %u/%u since tick %llu", i,
+                         in.fifo->size(), in.fifo->capacity(),
+                         (unsigned long long)in.lastMove);
+        }
+    }
+}
+
+void
+Crossbar::audit(sim::health::Auditor &audit)
+{
+    // Both audit points expect the same: a quiet switch has no open
+    // circuits, no buffered symbols, and nothing on the wires.
+    for (unsigned i = 0; i < _p.ports; ++i) {
+        const Input &in = _in[i];
+        audit.check(in.target < 0, "in%u still routed to out%d", i,
+                    in.target);
+        audit.check(!in.waiting, "in%u still parked on a busy output", i);
+        audit.check(in.fifo->empty(), "in%u FIFO not empty (%u/%u)", i,
+                    in.fifo->size(), in.fifo->capacity());
+    }
+    for (unsigned o = 0; o < _p.ports; ++o) {
+        const Output &out = _out[o];
+        audit.check(out.owner < 0, "out%u still owned by in%d", o,
+                    out.owner);
+        audit.check(out.waiters.empty(), "out%u has %zu queued waiters", o,
+                    out.waiters.size());
+        if (out.tx)
+            audit.check(out.tx->inflight() == 0,
+                        "out%u has %u symbols in flight", o,
+                        out.tx->inflight());
+    }
+}
+
+void
+Crossbar::dumpState(std::ostream &os) const
+{
+    for (unsigned i = 0; i < _p.ports; ++i) {
+        const Input &in = _in[i];
+        // Idle, empty inputs would drown the interesting ones.
+        if (in.target < 0 && !in.waiting && in.fifo->empty())
+            continue;
+        os << "  in" << i << ": target=" << in.target
+           << " waiting=" << (in.waiting ? 1 : 0)
+           << " lastMove=" << in.lastMove << " ";
+        in.fifo->dumpTo(os);
+    }
+    for (unsigned o = 0; o < _p.ports; ++o) {
+        const Output &out = _out[o];
+        if (!out.tx || (out.owner < 0 && out.waiters.empty() &&
+                        out.tx->inflight() == 0))
+            continue;
+        os << "  out" << o << ": owner=" << out.owner
+           << " waiters=" << out.waiters.size()
+           << " inflight=" << out.tx->inflight() << "\n";
+    }
+    _ring.dump(os);
 }
 
 } // namespace pm::net

@@ -26,6 +26,7 @@
 #include "net/fifo.hh"
 #include "net/link.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 #include "sim/stats.hh"
 
 namespace pm::net {
@@ -41,7 +42,7 @@ struct CrossbarParams
 };
 
 /** One crossbar switch. */
-class Crossbar
+class Crossbar : public sim::health::Reporter
 {
   public:
     Crossbar(const CrossbarParams &params, sim::EventQueue &queue);
@@ -70,6 +71,18 @@ class Crossbar
      */
     void reset();
 
+    /** True when no symbols are buffered or in flight and no circuit
+     * is open through this switch (conservation-audit precondition). */
+    [[nodiscard]] bool wireQuiet() const;
+
+    /** @name sim::health::Reporter */
+    /// @{
+    const std::string &healthName() const override { return _p.name; }
+    void checkHealth(sim::health::Check &check) override;
+    void audit(sim::health::Auditor &audit) override;
+    void dumpState(std::ostream &os) const override;
+    /// @}
+
     sim::StatGroup &stats() { return _stats; }
     sim::Scalar routesEstablished{"routes", "connections established"};
     sim::Scalar symbolsForwarded{"symbols", "symbols switched"};
@@ -84,6 +97,7 @@ class Crossbar
         bool waiting = false; //!< Parked on a busy output's wait list.
         sim::EventHandle pumpEvent; //!< Live while a pump is scheduled.
         Tick pumpAt = 0; //!< When it will fire.
+        Tick lastMove = 0; //!< Last tick a symbol arrived or advanced.
     };
 
     struct Output
@@ -98,6 +112,7 @@ class Crossbar
     std::vector<Input> _in;
     std::vector<Output> _out;
     sim::StatGroup _stats;
+    sim::health::EventRing _ring; //!< Recent routes/closes/parks.
 
     /** Try to make progress on input `i` (idempotent). */
     void pump(unsigned i);

@@ -13,6 +13,7 @@
 #define PM_NET_FIFO_HH
 
 #include <deque>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -144,6 +145,18 @@ class InputFifo : public SymbolSink
         _q.clear();
         _spaceCbs.clear();
         _fillCb.reset();
+    }
+
+    /** One-line forensic snapshot: occupancy, watermark, head symbol. */
+    void
+    dumpTo(std::ostream &os) const
+    {
+        os << _name << ": " << _q.size() << "/" << _capacity
+           << " (peak " << static_cast<unsigned>(maxOccupancy.value())
+           << ", waiters " << _spaceCbs.size() << ")";
+        if (!_q.empty())
+            os << " head=" << symKindName(_q.front().kind);
+        os << "\n";
     }
 
     sim::Scalar maxOccupancy{"max_occupancy", "peak buffered symbols"};

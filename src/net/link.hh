@@ -51,8 +51,12 @@ class LinkTx
             _site = _p.fault->site(_name);
     }
 
+    const std::string &name() const { return _name; }
     const LinkParams &params() const { return _p; }
     SymbolSink *sink() const { return _sink; }
+
+    /** Symbols sent but not yet delivered (wire-quiescence checks). */
+    [[nodiscard]] unsigned inflight() const { return _inflight; }
 
     /**
      * The wire is free and the receiver can take one more symbol.

@@ -26,6 +26,21 @@ enum class SymKind : std::uint8_t {
     Close, //!< Tears down the logical connection.
 };
 
+/** Human-readable symbol kind, for diagnostics and forensic dumps. */
+inline const char *
+symKindName(SymKind kind)
+{
+    switch (kind) {
+      case SymKind::Route:
+        return "route";
+      case SymKind::Data:
+        return "data";
+      case SymKind::Close:
+        return "close";
+    }
+    return "?";
+}
+
 /** One unit travelling on a link. */
 struct Symbol
 {

@@ -142,6 +142,41 @@ Fabric::crossbarsOnPath(unsigned src, unsigned dst) const
 }
 
 void
+Fabric::registerHealth(sim::health::Monitor &monitor)
+{
+    for (auto &net : _nets) {
+        for (auto &ni : net.nis)
+            monitor.add(ni.get());
+        for (auto &xbar : net.clusterXbars)
+            monitor.add(xbar.get());
+        for (auto &xbar : net.l2Xbars)
+            monitor.add(xbar.get());
+        for (auto &xcvr : net.xcvrs)
+            monitor.add(xcvr.get());
+    }
+}
+
+bool
+Fabric::wireQuiet() const
+{
+    for (const auto &net : _nets) {
+        for (const auto &ni : net.nis)
+            if (!ni->wireQuiet())
+                return false;
+        for (const auto &xbar : net.clusterXbars)
+            if (!xbar->wireQuiet())
+                return false;
+        for (const auto &xbar : net.l2Xbars)
+            if (!xbar->wireQuiet())
+                return false;
+        for (const auto &xcvr : net.xcvrs)
+            if (!xcvr->wireQuiet())
+                return false;
+    }
+    return true;
+}
+
+void
 Fabric::reset()
 {
     for (auto &net : _nets) {

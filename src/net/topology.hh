@@ -100,6 +100,23 @@ class Fabric
      */
     void reset();
 
+    /**
+     * Register every fabric component with the health monitor, in
+     * deterministic order (per network: NIs, cluster crossbars,
+     * second-level crossbars, transceivers).
+     */
+    void registerHealth(sim::health::Monitor &monitor);
+
+    /**
+     * True when nothing is moving anywhere in the fabric: no buffered
+     * symbols, no open circuits, no in-flight wire deliveries, and all
+     * NI send sides drained. NI *receive* FIFOs may hold unconsumed
+     * words — those were already delivered and counted. Endpoint
+     * quiescence does not imply this: a duplicate retransmit can still
+     * be mid-fabric after both ends have gone idle.
+     */
+    [[nodiscard]] bool wireQuiet() const;
+
   private:
     struct Network
     {

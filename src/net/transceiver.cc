@@ -23,7 +23,11 @@ Transceiver::Transceiver(const TransceiverParams &params,
 {
     // The cable latency rides on the output link.
     _p.link.latency += params.cableLatency;
-    _in.setFillCallback([this] { schedulePump(); });
+    // Arrival counts as progress for the stall watchdog.
+    _in.setFillCallback([this] {
+        _lastMove = _queue.now();
+        schedulePump();
+    });
 }
 
 void
@@ -41,9 +45,13 @@ Transceiver::reset()
 {
     // clear() drops the persistent fill callback with the contents.
     _in.clear();
-    _in.setFillCallback([this] { schedulePump(); });
+    _in.setFillCallback([this] {
+        _lastMove = _queue.now();
+        schedulePump();
+    });
     _queue.cancel(_pumpEvent);
     _pumpAt = 0;
+    _lastMove = _queue.now();
     if (_tx)
         _tx->reset();
 }
@@ -84,9 +92,44 @@ Transceiver::pump()
         return;
     }
     const Symbol sym = _in.pop();
+    _lastMove = _queue.now();
     const Tick wireFree = _tx->send(sym, _queue.now());
     if (!_in.empty())
         schedulePumpAt(wireFree);
+}
+
+bool
+Transceiver::wireQuiet() const
+{
+    return _in.empty() && (!_tx || _tx->inflight() == 0);
+}
+
+void
+Transceiver::checkHealth(sim::health::Check &check)
+{
+    if (!_in.empty() && check.expired(_lastMove))
+        check.report("buffer stuck %u/%u since tick %llu", _in.size(),
+                     _in.capacity(), (unsigned long long)_lastMove);
+}
+
+void
+Transceiver::audit(sim::health::Auditor &audit)
+{
+    audit.check(_in.empty(), "buffer not empty (%u/%u)", _in.size(),
+                _in.capacity());
+    if (_tx)
+        audit.check(_tx->inflight() == 0, "%u symbols in flight",
+                    _tx->inflight());
+}
+
+void
+Transceiver::dumpState(std::ostream &os) const
+{
+    os << "  ";
+    _in.dumpTo(os);
+    if (_tx)
+        os << "  inflight=" << _tx->inflight()
+           << " lastMove=" << _lastMove << "\n";
 }
 
 } // namespace pm::net

@@ -18,6 +18,7 @@
 #include "net/fifo.hh"
 #include "net/link.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 
 namespace pm::net {
 
@@ -31,7 +32,7 @@ struct TransceiverParams
 };
 
 /** One direction of an inter-cabinet hop: FIFO in, link out. */
-class Transceiver
+class Transceiver : public sim::health::Reporter
 {
   public:
     Transceiver(const TransceiverParams &params, sim::EventQueue &queue);
@@ -51,6 +52,17 @@ class Transceiver
      */
     void reset();
 
+    /** True when the buffer is empty and nothing is on the wire. */
+    [[nodiscard]] bool wireQuiet() const;
+
+    /** @name sim::health::Reporter */
+    /// @{
+    const std::string &healthName() const override { return _p.name; }
+    void checkHealth(sim::health::Check &check) override;
+    void audit(sim::health::Auditor &audit) override;
+    void dumpState(std::ostream &os) const override;
+    /// @}
+
   private:
     TransceiverParams _p;
     sim::EventQueue &_queue;
@@ -58,6 +70,7 @@ class Transceiver
     std::unique_ptr<LinkTx> _tx;
     sim::EventHandle _pumpEvent; //!< Live while a pump is scheduled.
     Tick _pumpAt = 0;
+    Tick _lastMove = 0; //!< Last tick a symbol arrived or advanced.
 
     void pump();
     void schedulePump();

@@ -33,9 +33,11 @@ void
 LinkInterface::pushSend(const net::Symbol &sym, Tick now)
 {
     if (sendSpace() == 0)
-        pm_panic("link interface %s: software overran the send FIFO",
-                 _p.name.c_str());
+        pm_panic("link interface %s: software overran the send FIFO "
+                 "(%zu/%u words buffered)",
+                 _p.name.c_str(), _sendFifo.size(), _p.fifoWords);
     _sendFifo.push_back(SendEntry{sym, now});
+    _lastTx = _queue.now();
     schedulePump();
 }
 
@@ -52,8 +54,10 @@ LinkInterface::popRecv(Tick)
 {
     if (recvAvailable() == 0)
         pm_panic("link interface %s: software read past the receive "
-                 "FIFO or a message boundary",
-                 _p.name.c_str());
+                 "FIFO or a message boundary (%zu words buffered, "
+                 "%zu completed messages, %llu drained)",
+                 _p.name.c_str(), _recvFifo.size(), _completed.size(),
+                 (unsigned long long)_drained);
     const std::uint64_t w = _recvFifo.front();
     _recvFifo.pop_front();
     ++_drained;
@@ -99,6 +103,7 @@ LinkInterface::reset()
     _rxMsgWords = 0;
     _queue.cancel(_pumpEvent);
     _pumpAt = 0;
+    _lastTx = _queue.now();
     _rxSpaceCbs.clear();
     if (_tx)
         _tx->reset();
@@ -158,6 +163,7 @@ LinkInterface::pump()
     if (_crcPendingClose) {
         // The CRC word has gone out; the close command follows.
         _crcPendingClose = false;
+        _lastTx = now;
         const Tick wireFree = _tx->send(net::Symbol::makeClose(), now);
         if (!_sendFifo.empty())
             schedulePumpAt(wireFree);
@@ -173,6 +179,7 @@ LinkInterface::pump()
 
     const net::Symbol sym = head.sym;
     _sendFifo.pop_front();
+    _lastTx = now;
 
     Tick wireFree;
     switch (sym.kind) {
@@ -230,8 +237,10 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
       case net::SymKind::Data:
         if (!hasSpace())
             pm_panic("link interface %s: receive FIFO overrun "
-                     "(flow-control bug)",
-                     ni._p.name.c_str());
+                     "(flow-control bug; %zu/%u words buffered, "
+                     "staged=%d)",
+                     ni._p.name.c_str(), ni._recvFifo.size(),
+                     ni._p.fifoWords, ni._staged.has_value() ? 1 : 0);
         if (ni._staged) {
             // The previously staged word is confirmed payload.
             ni._crcRx.update(*ni._staged);
@@ -262,6 +271,8 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
         ni._crcRx.reset();
         ++ni._messages;
         ni._completed.push_back(RecvMsgInfo{ni._rxMsgWords, ok});
+        ni._ring.push(ni._queue.now(), ok ? "msg-ok" : "msg-crc-bad",
+                      ni._messages, ni._rxMsgWords);
         ni._rxMsgWords = 0;
         pm_trace(ni._queue.now(), "ni", "%s: message %llu complete, crc %s",
                  ni._p.name.c_str(), (unsigned long long)ni._messages,
@@ -276,6 +287,61 @@ void
 LinkInterface::RxPort::onSpace(sim::EventFn cb)
 {
     _ni._rxSpaceCbs.push_back(std::move(cb));
+}
+
+// ---- Health. -----------------------------------------------------------
+
+bool
+LinkInterface::wireQuiet() const
+{
+    return _sendFifo.empty() && !_crcPendingClose && !_staged &&
+           (!_tx || _tx->inflight() == 0);
+}
+
+void
+LinkInterface::checkHealth(sim::health::Check &check)
+{
+    if ((!_sendFifo.empty() || _crcPendingClose) && check.expired(_lastTx))
+        check.report("send FIFO stuck %zu/%u since tick %llu%s",
+                     _sendFifo.size(), _p.fifoWords,
+                     (unsigned long long)_lastTx,
+                     _crcPendingClose ? " (close pending)" : "");
+}
+
+void
+LinkInterface::audit(sim::health::Auditor &audit)
+{
+    audit.check(_sendFifo.empty(), "send FIFO not empty (%zu/%u)",
+                _sendFifo.size(), _p.fifoWords);
+    audit.check(!_crcPendingClose, "hardware close still pending");
+    audit.check(!_staged.has_value(), "receive word still staged");
+    if (_tx)
+        audit.check(_tx->inflight() == 0, "%u symbols in flight on tx",
+                    _tx->inflight());
+    if (audit.point() == sim::health::Auditor::Point::PostReset) {
+        // After a reset nothing may survive, not even unread payload.
+        audit.check(_recvFifo.empty(), "receive FIFO not empty (%zu)",
+                    _recvFifo.size());
+        audit.check(_completed.empty(), "%zu unconsumed messages",
+                    _completed.size());
+    }
+}
+
+void
+LinkInterface::dumpState(std::ostream &os) const
+{
+    os << "  send: " << _sendFifo.size() << "/" << _p.fifoWords
+       << " closePending=" << (_crcPendingClose ? 1 : 0)
+       << " inflight=" << (_tx ? _tx->inflight() : 0)
+       << " lastTx=" << _lastTx << "\n";
+    os << "  recv: " << _recvFifo.size() << "/" << _p.fifoWords
+       << " staged=" << (_staged.has_value() ? 1 : 0)
+       << " completed=" << _completed.size() << " drained=" << _drained
+       << " messages=" << _messages << "\n";
+    os << "  words: sent=" << wordsSent.value()
+       << " received=" << wordsReceived.value()
+       << " crcErrors=" << crcErrors.value() << "\n";
+    _ring.dump(os);
 }
 
 void

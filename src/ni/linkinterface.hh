@@ -26,6 +26,7 @@
 #include "net/symbol.hh"
 #include "ni/crc32.hh"
 #include "sim/event.hh"
+#include "sim/health.hh"
 #include "sim/stats.hh"
 
 namespace pm::ni {
@@ -39,7 +40,7 @@ struct LinkIfParams
 };
 
 /** One of the two link interfaces on a PowerMANNA node. */
-class LinkInterface
+class LinkInterface : public sim::health::Reporter
 {
   public:
     LinkInterface(const LinkIfParams &params, sim::EventQueue &queue);
@@ -117,6 +118,22 @@ class LinkInterface
     /** Connect the outgoing link to the next element's input sink. */
     void connectOutput(net::SymbolSink *downstream);
 
+    /**
+     * True when the send side is fully drained: FIFO empty, no pending
+     * hardware CRC/close, nothing on the outgoing wire. The *receive*
+     * FIFO may be non-empty — its words were already delivered (and
+     * counted) and merely await software consumption.
+     */
+    [[nodiscard]] bool wireQuiet() const;
+
+    /** @name sim::health::Reporter */
+    /// @{
+    const std::string &healthName() const override { return _p.name; }
+    void checkHealth(sim::health::Check &check) override;
+    void audit(sim::health::Auditor &audit) override;
+    void dumpState(std::ostream &os) const override;
+    /// @}
+
     sim::StatGroup &stats() { return _stats; }
     sim::Scalar wordsSent{"words_sent", "payload words transmitted"};
     sim::Scalar wordsReceived{"words_received", "payload words received"};
@@ -159,6 +176,8 @@ class LinkInterface
     bool _crcPendingClose = false; //!< CRC word sent; close follows.
     bool _txAnyData = false;
     Crc32 _crcTx;
+    Tick _lastTx = 0; //!< Last tick the send side made progress.
+    sim::health::EventRing _ring; //!< Recent message completions.
 
     // Receive side.
     RxPort _rx{*this};

@@ -95,6 +95,16 @@ EventQueue::step(Tick limit)
     return false;
 }
 
+std::size_t
+EventQueue::liveRecords() const
+{
+    std::size_t live = 0;
+    for (const Record &rec : _slab)
+        if (rec.state == Record::State::Pending)
+            ++live;
+    return live;
+}
+
 std::uint64_t
 EventQueue::run(Tick limit)
 {

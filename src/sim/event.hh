@@ -314,6 +314,14 @@ class EventQueue
     /** Slab slots currently allocated (capacity watermark, for tests). */
     std::size_t slabSize() const { return _slab.size(); }
 
+    /**
+     * Count Pending slab records by walking the whole slab — O(slab).
+     * An audit-time cross-check against pending(): the two disagreeing
+     * means the heap and the slab have lost track of each other. Not
+     * for hot paths.
+     */
+    std::size_t liveRecords() const;
+
   private:
     /** Slab-resident event record; recycled through a free list. */
     struct Record

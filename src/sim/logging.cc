@@ -2,11 +2,59 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace pm {
 
 namespace {
+
 bool informEnabled = true;
+
+struct PanicContext
+{
+    PanicTickFn tick = nullptr;
+    PanicDumpFn dump = nullptr;
+    void *ctx = nullptr;
+};
+
+std::vector<PanicContext> &
+panicContexts()
+{
+    static std::vector<PanicContext> stack;
+    return stack;
+}
+
+/**
+ * Guards against recursive panics: if a dump hook itself panics (the
+ * machine state it walks is, by definition, suspect), the inner panic
+ * prints its message and aborts without re-entering the hooks.
+ */
+bool panicInProgress = false;
+
+/** Print "[tick N] " when a context is registered. */
+void
+printTick()
+{
+    const auto &stack = panicContexts();
+    if (!stack.empty() && stack.back().tick)
+        std::fprintf(stderr, "[tick %llu] ",
+                     (unsigned long long)stack.back().tick(
+                         stack.back().ctx));
+}
+
+/** Run every registered dump hook, newest first, at most once. */
+void
+runDumpHooks()
+{
+    if (panicInProgress)
+        return;
+    panicInProgress = true;
+    const auto &stack = panicContexts();
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+        if (it->dump)
+            it->dump(it->ctx);
+}
+
 } // namespace
 
 void
@@ -16,14 +64,34 @@ setInformEnabled(bool enabled)
 }
 
 void
+pushPanicContext(PanicTickFn tick, PanicDumpFn dump, void *ctx)
+{
+    panicContexts().push_back(PanicContext{tick, dump, ctx});
+}
+
+void
+popPanicContext(void *ctx)
+{
+    auto &stack = panicContexts();
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->ctx == ctx) {
+            stack.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
     std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    printTick();
     va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);
     va_end(args);
     std::fprintf(stderr, "\n");
+    runDumpHooks();
     std::abort();
 }
 
@@ -31,6 +99,7 @@ void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
     std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    printTick();
     va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);
@@ -43,8 +112,9 @@ void
 assertFailImpl(const char *file, int line, const char *cond,
                const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: assertion failed: %s", file, line,
-                 cond);
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    printTick();
+    std::fprintf(stderr, "assertion failed: %s", cond);
     if (fmt) {
         std::fprintf(stderr, ": ");
         va_list args;
@@ -53,6 +123,7 @@ assertFailImpl(const char *file, int line, const char *cond,
         va_end(args);
     }
     std::fprintf(stderr, "\n");
+    runDumpHooks();
     std::abort();
 }
 

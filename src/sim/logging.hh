@@ -16,6 +16,8 @@
 #include <cstdarg>
 #include <string>
 
+#include "sim/types.hh"
+
 namespace pm {
 
 /** Print a formatted bug message with location and abort(). */
@@ -45,6 +47,28 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
+
+/**
+ * Panic forensics. A registered context supplies the current simulated
+ * tick — printed in every panic()/pm_assert failure — and a dump hook
+ * that emits a structured machine snapshot to stderr before abort(),
+ * so a crash carries the state needed to diagnose it, not just one
+ * line. Contexts nest (the newest supplies the tick; all dump hooks
+ * run, newest first) and are raw function pointers, not std::function:
+ * this header is on every hot path and the std-function lint rule
+ * fences src/sim.
+ *
+ * fatal() — a user error — prints the tick but runs no dump hooks: a
+ * bad command-line flag does not warrant a machine-state dump.
+ */
+using PanicTickFn = Tick (*)(void *ctx);
+using PanicDumpFn = void (*)(void *ctx);
+
+/** Register a panic context. */
+void pushPanicContext(PanicTickFn tick, PanicDumpFn dump, void *ctx);
+
+/** Unregister the newest context registered with `ctx`. */
+void popPanicContext(void *ctx);
 
 #define pm_panic(...) ::pm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define pm_fatal(...) ::pm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)

@@ -241,7 +241,7 @@ TEST(Reliability, ExhaustedRetryBudgetSurfacesDeliveryFailure)
 
     unsigned failures = 0;
     unsigned failedDst = ~0u;
-    a.onDeliveryFailure([&](unsigned dst, std::uint64_t) {
+    a.onDeliveryFailure([&](unsigned dst, std::uint64_t, unsigned) {
         ++failures;
         failedDst = dst;
     });

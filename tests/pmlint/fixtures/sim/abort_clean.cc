@@ -1,0 +1,26 @@
+// pmlint fixture: clean counterpart of abort_bad.cc — member calls
+// named like the terminators, declarations, and an annotated escape
+// hatch must all pass.
+#include <cstdlib>
+
+namespace pm {
+
+struct SendOp
+{
+    void abort(); // declaration, not a call
+};
+
+void
+cancel(SendOp &op)
+{
+    op.abort(); // member call: a different function entirely
+}
+
+void
+usageError()
+{
+    // pmlint: abort-ok(CLI usage error before any simulation exists)
+    exit(2);
+}
+
+} // namespace pm

@@ -79,8 +79,8 @@ TEST(PmLint, EverySeededRuleIsDetected)
         run(std::string(PMLINT_BIN) + " " + PMLINT_FIXTURES);
     for (const char *rule :
          {"[banned-ident]", "[unordered-iter]", "[std-function]",
-          "[include-guard]", "[no-iostream]", "[assert-side-effect]",
-          "[annotation]"})
+          "[include-guard]", "[no-iostream]", "[no-raw-abort]",
+          "[assert-side-effect]", "[annotation]"})
         EXPECT_NE(res.output.find(rule), std::string::npos)
             << "rule never fired on fixtures: " << rule;
 }

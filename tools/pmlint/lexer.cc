@@ -382,6 +382,7 @@ annotationRules()
         {"assert-ok", "assert-side-effect"},
         {"iostream-ok", "no-iostream"},
         {"guard-ok", "include-guard"},
+        {"abort-ok", "no-raw-abort"},
     };
     return kMap;
 }

@@ -303,6 +303,54 @@ checkIostream(const SourceFile &f, Diags &out)
     }
 }
 
+// ---- R3d: no raw process termination. ---------------------------------
+
+void
+checkRawAbort(const SourceFile &f, Diags &out)
+{
+    // The one sanctioned termination point: pm_panic/pm_fatal land
+    // here after printing the tick and running the dump hooks.
+    if (f.relPath == "sim/logging.cc")
+        return;
+    static const std::set<std::string> kTerminators = {
+        "abort", "exit", "_Exit", "quick_exit", "terminate",
+    };
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Ident || !kTerminators.count(t.text))
+            continue;
+        // Only a call is banned; same disambiguation as banned-ident.
+        if (i + 1 >= toks.size() || !isPunct(toks[i + 1], "("))
+            continue;
+        if (i > 0 &&
+            (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->")))
+            continue;
+        if (i > 0) {
+            const Token &prev = toks[i - 1];
+            if (prev.kind == Token::Kind::Ident && prev.text != "return")
+                continue;
+            if (isPunct(prev, ">") || isPunct(prev, ">>") ||
+                isPunct(prev, "&") || isPunct(prev, "*") ||
+                isPunct(prev, "~"))
+                continue;
+        }
+        if (i > 0 && isPunct(toks[i - 1], "::")) {
+            const bool stdQualified =
+                i >= 2 && isIdent(toks[i - 2], "std");
+            const bool globalQualified =
+                i < 2 || toks[i - 2].kind != Token::Kind::Ident;
+            if (!stdQualified && !globalQualified)
+                continue;
+        }
+        emit(out, f, t.line, "no-raw-abort",
+             "raw '" + t.text + "' dies without the simulation tick or "
+             "the forensic dump hooks; use pm_panic/pm_fatal "
+             "(sim/logging.hh) or annotate "
+             "'// pmlint: abort-ok(<reason>)'");
+    }
+}
+
 // ---- R3c: pm_assert conditions must be side-effect free. --------------
 
 void
@@ -350,7 +398,7 @@ checkAnnotations(const SourceFile &f, Diags &out)
              "malformed pmlint annotation '" + a.name +
                  "'; expected '<name>-ok(<non-empty reason>)' with "
                  "name one of banned-ok, unordered-ok, function-ok, "
-                 "assert-ok, iostream-ok, guard-ok"});
+                 "assert-ok, iostream-ok, guard-ok, abort-ok"});
     }
 }
 
@@ -365,6 +413,7 @@ checkFile(const SourceFile &f)
     checkStdFunction(f, out);
     checkIncludeGuard(f, out);
     checkIostream(f, out);
+    checkRawAbort(f, out);
     checkAssertSideEffects(f, out);
     checkAnnotations(f, out);
     return out;

@@ -203,6 +203,21 @@ cmdComm(const Args &args)
 
     msg::System sys(sp);
 
+    // Health: the watchdog is opt-in (zero events when off); the
+    // quiescent-machine auditors are always on in pmsim.
+    if (args.has("watchdog")) {
+        const double us = args.dbl("watchdog", 0.0);
+        if (us <= 0.0)
+            pm_fatal("--watchdog expects a scan interval in "
+                     "microseconds");
+        const double deadlineUs = args.dbl("watchdog-deadline", 0.0);
+        sys.health().enableWatchdog(
+            static_cast<Tick>(us * kTicksPerUs),
+            static_cast<Tick>(deadlineUs * kTicksPerUs));
+    }
+    if (args.has("dump-file"))
+        sys.health().setDumpFile(args.str("dump-file", ""));
+
     const unsigned a = args.num("src", 0);
     const unsigned b = args.num("dst", 1);
     const unsigned bytes = args.num("bytes", 8);
@@ -224,8 +239,10 @@ cmdComm(const Args &args)
                     msg::measureBidirectionalMBps(sys, a, b, bytes,
                                                   count));
     } else if (op == "soak") {
-        const auto r = msg::runDeliverySoak(sys, a, b, bytes, count,
-                                            args.u64("seed", 12345));
+        std::ostringstream driverStats;
+        const auto r = msg::runDeliverySoak(
+            sys, a, b, bytes, count, args.u64("seed", 12345),
+            /*window=*/16, args.has("stats") ? &driverStats : nullptr);
         std::printf("soak %u x %u B: delivered %u/%u %s in %.1f us\n",
                     count, bytes, r.delivered, count,
                     r.intact ? "intact" : "CORRUPTED", r.elapsedUs);
@@ -236,10 +253,19 @@ cmdComm(const Args &args)
                     "  timeouts             %.0f\n"
                     "  acks_sent            %.0f\n"
                     "  nacks_sent           %.0f\n"
-                    "  delivery_failures    %.0f\n",
+                    "  delivery_failures    %.0f\n"
+                    "  receiver_failures    %.0f\n",
                     r.retransmits, r.crcDrops, r.duplicateDiscards,
                     r.outOfOrderDiscards, r.timeouts, r.acksSent,
-                    r.nacksSent, r.deliveryFailures);
+                    r.nacksSent, r.deliveryFailures,
+                    r.receiverFailures);
+        if (r.senderDead || r.receiverDead)
+            std::printf("  peer death: %s%s%s\n",
+                        r.senderDead ? "sender gave up" : "",
+                        r.senderDead && r.receiverDead ? ", " : "",
+                        r.receiverDead ? "receiver gave up" : "");
+        if (args.has("stats"))
+            std::fputs(driverStats.str().c_str(), stdout);
     } else {
         pm_fatal("unknown op '%s' (latency|gap|unibw|bibw|soak)",
                  op.c_str());
@@ -247,6 +273,7 @@ cmdComm(const Args &args)
     if (args.has("stats")) {
         std::ostringstream os;
         fault.stats().dump(os);
+        sys.health().stats().dump(os);
         std::fputs(os.str().c_str(), stdout);
     }
     return 0;
@@ -266,7 +293,8 @@ usage()
                  "       [--bytes B] [--count C] [--src S] [--dst D]\n"
                  "       [--fault-ber P] [--fault-drop P]\n"
                  "       [--fault-seed S] [--fault-link-down FROM:TO]\n"
-                 "       [--stats]\n"
+                 "       [--watchdog US] [--watchdog-deadline US]\n"
+                 "       [--dump-file PATH] [--stats]\n"
                  "machines: powermanna sun pc180 pc266\n");
 }
 
