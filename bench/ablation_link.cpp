@@ -7,6 +7,9 @@
  * driver, here driven by both processors of the SMP node — one per
  * link interface, which is exactly the configuration the two-way node
  * enables).
+ *
+ * The four configurations are pm::sim::sweep points with Systems of
+ * their own; `--jobs N` runs them on N threads, byte-identically.
  */
 
 #include <cstdio>
@@ -16,6 +19,7 @@
 #include "machines/machines.hh"
 #include "msg/probes.hh"
 #include "sim/logging.hh"
+#include "sweep_support.hh"
 
 namespace {
 
@@ -71,10 +75,16 @@ multiLinkStream(unsigned links, unsigned bytes, unsigned count,
     return double(bytes) * expected / us;
 }
 
+struct Config
+{
+    unsigned links;
+    bool bidirectional;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     pm::setInformEnabled(false);
 
@@ -83,10 +93,22 @@ main()
     constexpr unsigned kBytes = 65536;
     constexpr unsigned kCount = 8;
 
-    const double oneUni = multiLinkStream(1, kBytes, kCount, false);
-    const double oneBi = multiLinkStream(1, kBytes, kCount, true);
-    const double twoUni = multiLinkStream(2, kBytes, kCount, false);
-    const double twoBi = multiLinkStream(2, kBytes, kCount, true);
+    const std::vector<Config> configs{
+        {1, false}, {1, true}, {2, false}, {2, true}};
+    const auto report = sim::sweep::map(
+        configs,
+        [](const Config &c, const sim::sweep::Point &) {
+            return multiLinkStream(c.links, kBytes, kCount,
+                                   c.bidirectional);
+        },
+        benchsup::options(argc, argv));
+    if (const int rc = benchsup::checkFailures(report))
+        return rc;
+
+    const double oneUni = report.results[0];
+    const double oneBi = report.results[1];
+    const double twoUni = report.results[2];
+    const double twoBi = report.results[3];
 
     std::printf("%-44s %10.1f MB/s (paper: 60)\n",
                 "one link, one direction", oneUni);

@@ -15,14 +15,21 @@
  * (memory-streaming, transposed version), then repeat with the
  * address-phase cost ablated to zero — if efficiency recovers, the
  * address phase was the binding constraint.
+ *
+ * Each processor count is one pm::sim::sweep point (with three Node
+ * simulations of its own); `--jobs N` fans the six counts out over N
+ * threads. The efficiency column depends on the 1-CPU result, so rows
+ * are rendered after the join, from the collected numbers.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "cpu/sched.hh"
 #include "machines/machines.hh"
 #include "node/node.hh"
 #include "sim/logging.hh"
+#include "sweep_support.hh"
 #include "workloads/stream.hh"
 
 namespace {
@@ -56,10 +63,40 @@ streamMBps(const node::NodeParams &cfg, unsigned active)
     return static_cast<double>(bytes) / ticksToUs(elapsed);
 }
 
+/** The three configurations measured at one processor count. */
+struct PointResult
+{
+    double designed;
+    double fixedMem;
+    double freeAddr;
+};
+
+PointResult
+runPoint(unsigned cpus)
+{
+    // The "designed node": memory interleave grows with the
+    // processor count, as the paper's "efficient implementation"
+    // of the node memory would provide. What remains fixed by the
+    // MPC620 protocol is the serialized snooped address phase.
+    node::NodeParams designed = machines::powerMannaN(cpus);
+    designed.dram.banks = 16; // generous interleave at every size
+    designed.bus.dataWidthBytes = 32; // wider memory data path
+
+    node::NodeParams fixedMem = machines::powerMannaN(cpus); // 4 banks
+
+    node::NodeParams freeAddr = designed;
+    freeAddr.bus.addrCycles = 0; // ablate snoop serialization
+    freeAddr.bus.snoopCycles = 0;
+
+    return PointResult{streamMBps(designed, cpus),
+                       streamMBps(fixedMem, cpus),
+                       streamMBps(freeAddr, cpus)};
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     pm::setInformEnabled(false);
     using namespace pm;
@@ -71,30 +108,24 @@ main()
                 "designed node vs linear scaling)\n");
     std::printf("%6s %11s %6s %15s %17s\n", "cpus", "designed", "eff",
                 "fixed 4 banks", "free addr phase");
-    double designed1 = 0.0;
 
-    for (unsigned cpus = 1; cpus <= 6; ++cpus) {
-        // The "designed node": memory interleave grows with the
-        // processor count, as the paper's "efficient implementation"
-        // of the node memory would provide. What remains fixed by the
-        // MPC620 protocol is the serialized snooped address phase.
-        node::NodeParams designed = machines::powerMannaN(cpus);
-        designed.dram.banks = 16; // generous interleave at every size
-        designed.bus.dataWidthBytes = 32; // wider memory data path
+    const std::vector<unsigned> counts{1u, 2u, 3u, 4u, 5u, 6u};
+    const auto report = sim::sweep::map(
+        counts,
+        [](unsigned cpus, const sim::sweep::Point &) {
+            return runPoint(cpus);
+        },
+        benchsup::options(argc, argv));
+    if (const int rc = benchsup::checkFailures(report))
+        return rc;
 
-        node::NodeParams fixedMem = machines::powerMannaN(cpus); // 4 banks
-
-        node::NodeParams freeAddr = designed;
-        freeAddr.bus.addrCycles = 0; // ablate snoop serialization
-        freeAddr.bus.snoopCycles = 0;
-
-        const double d = streamMBps(designed, cpus);
-        if (cpus == 1)
-            designed1 = d;
-        std::printf("%6u %11.0f %5.0f%% %15.0f %17.0f\n", cpus, d,
-                    100.0 * d / (cpus * designed1),
-                    streamMBps(fixedMem, cpus),
-                    streamMBps(freeAddr, cpus));
+    const double designed1 = report.results[0].designed;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const unsigned cpus = counts[i];
+        const PointResult &r = report.results[i];
+        std::printf("%6u %11.0f %5.0f%% %15.0f %17.0f\n", cpus,
+                    r.designed, 100.0 * r.designed / (cpus * designed1),
+                    r.fixedMem, r.freeAddr);
     }
 
     std::printf("\npaper check: the designed node stays efficient "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/context.hh"
 #include "sim/logging.hh"
 
 namespace pm::earth {
@@ -318,6 +319,10 @@ Runtime::quiescent() const
 Tick
 Runtime::run()
 {
+    // Bind the machine's context: a deadlock panic below (or any
+    // pm_assert inside the fibers) must resolve this System's tick
+    // and dump hooks even with sibling simulations in the process.
+    sim::Context::Scope scope(_sys.context());
     auto &queue = _sys.queue();
     Tick start = queue.now();
     for (const auto &n : _nodes)

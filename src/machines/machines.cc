@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/logging.hh"
+
 namespace pm::machines {
 
 node::NodeParams
@@ -199,6 +201,21 @@ std::vector<node::NodeParams>
 allNodeConfigs()
 {
     return {powerManna(), sunUltra1(), pentiumPc180(), pentiumPc266()};
+}
+
+node::NodeParams
+byName(const std::string &name)
+{
+    if (name == "powermanna")
+        return powerManna();
+    if (name == "sun")
+        return sunUltra1();
+    if (name == "pc180")
+        return pentiumPc180();
+    if (name == "pc266")
+        return pentiumPc266();
+    pm_fatal("unknown machine '%s' (powermanna|sun|pc180|pc266)",
+             name.c_str());
 }
 
 std::string

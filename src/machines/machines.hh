@@ -42,6 +42,12 @@ node::NodeParams pentiumPc266();
 /** All four node configurations used in Section 5.1. */
 std::vector<node::NodeParams> allNodeConfigs();
 
+/**
+ * Look a machine up by its CLI name: powermanna, sun, pc180, or
+ * pc266. pm_fatal on anything else (user error, not a bug).
+ */
+node::NodeParams byName(const std::string &name);
+
 /** One-line description used by the Table 1 bench. */
 std::string describe(const node::NodeParams &p);
 

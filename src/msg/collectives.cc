@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/context.hh"
 #include "sim/logging.hh"
 
 namespace pm::msg {
@@ -28,6 +29,10 @@ Communicator::rounds() const
 void
 Communicator::runUntil(const bool &done)
 {
+    // Every collective drives the machine through here: bind the
+    // owning System's context so a stall's panic carries *its* tick
+    // and forensics, not a bystander simulation's.
+    sim::Context::Scope scope(_sys.context());
     while (!done && _sys.queue().step()) {
     }
     if (!done)

@@ -1,5 +1,6 @@
 #include "msg/probes.hh"
 
+#include "sim/context.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -46,6 +47,7 @@ double
 measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
                        std::uint64_t bytes, unsigned iters)
 {
+    sim::Context::Scope scope(sys.context());
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);
@@ -97,6 +99,7 @@ Tick
 streamOneWay(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
              unsigned count)
 {
+    sim::Context::Scope scope(sys.context());
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);
@@ -146,6 +149,7 @@ double
 measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
                          std::uint64_t bytes, unsigned count)
 {
+    sim::Context::Scope scope(sys.context());
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);
@@ -187,6 +191,7 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
                 std::uint64_t seed, unsigned window,
                 std::ostream *statsOut)
 {
+    sim::Context::Scope scope(sys.context());
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);

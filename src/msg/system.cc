@@ -8,6 +8,11 @@ namespace pm::msg {
 System::System(const SystemParams &params)
     : _p(params)
 {
+    // Quiet machines build quiet: the inform() gate carries over from
+    // whatever context the constructing code runs under (a bench that
+    // silenced inform, a sweep worker's options).
+    _ctx.setInformEnabled(sim::Context::current().informEnabled());
+    sim::Context::Scope scope(_ctx);
     _fabric = std::make_unique<net::Fabric>(_p.fabric, _queue);
     _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
@@ -20,6 +25,7 @@ System::System(const SystemParams &params)
 void
 System::resetForRun()
 {
+    sim::Context::Scope scope(_ctx);
     _fabric->reset();
     for (auto &n : _nodes) {
         n->reset();
@@ -62,6 +68,7 @@ System::auditQuiescent(const char *where)
 {
     if (!_health.auditsEnabled())
         return;
+    sim::Context::Scope scope(_ctx);
     double sent = 0.0;
     double received = 0.0;
     sumNiWords(sent, received);

@@ -13,6 +13,7 @@
 
 #include "net/topology.hh"
 #include "node/node.hh"
+#include "sim/context.hh"
 #include "sim/event.hh"
 #include "sim/health.hh"
 
@@ -66,6 +67,17 @@ class System
     sim::health::Monitor &health() { return _health; }
 
     /**
+     * This machine's ambient simulation state — panic tick/dump hooks
+     * and the inform() gate — fully isolated from every other System
+     * in the process. Simulation entry points (probes, collectives,
+     * earth::Runtime::run) bind it with sim::Context::Scope so a
+     * mid-run panic resolves this machine's forensics; anything else
+     * that steps queue() directly and wants panics attributed should
+     * do the same.
+     */
+    sim::Context &context() { return _ctx; }
+
+    /**
      * Conservation + invariant audit for a wire-quiescent machine:
      * words sent by all NIs since the last audit must equal words
      * received plus words dropped by fault injection, and every
@@ -91,8 +103,9 @@ class System
 
   private:
     SystemParams _p;
+    sim::Context _ctx;
     sim::EventQueue _queue;
-    sim::health::Monitor _health{_queue};
+    sim::health::Monitor _health{_queue, _ctx};
     std::unique_ptr<net::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;

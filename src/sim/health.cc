@@ -67,18 +67,20 @@ EventRing::dump(std::ostream &os, const char *indent) const
     }
 }
 
-Monitor::Monitor(EventQueue &queue) : _queue(queue)
+Monitor::Monitor(EventQueue &queue, Context &context)
+    : _queue(queue), _context(context)
 {
     _stats.add(&_scans);
     _stats.add(&_auditsRun);
     _stats.add(&_auditChecks);
-    pushPanicContext(&Monitor::tickThunk, &Monitor::dumpThunk, this);
+    _context.pushPanicHook(&Monitor::tickThunk, &Monitor::dumpThunk,
+                           this);
 }
 
 Monitor::~Monitor()
 {
     disableWatchdog();
-    popPanicContext(this);
+    _context.popPanicHook(this);
 }
 
 void
@@ -177,20 +179,6 @@ Monitor::dump(std::ostream &os) const
     os << "=== end health dump ===\n";
 }
 
-void
-Monitor::emitDump() const
-{
-    std::ostringstream ss;
-    dump(ss);
-    const std::string text = ss.str();
-    std::fputs(text.c_str(), stderr);
-    if (!_dumpFile.empty()) {
-        std::ofstream out(_dumpFile, std::ios::app);
-        if (out)
-            out << text;
-    }
-}
-
 Tick
 Monitor::tickThunk(void *ctx)
 {
@@ -198,9 +186,20 @@ Monitor::tickThunk(void *ctx)
 }
 
 void
-Monitor::dumpThunk(void *ctx)
+Monitor::dumpThunk(void *ctx, std::ostream &os)
 {
-    static_cast<Monitor *>(ctx)->emitDump();
+    const Monitor &mon = *static_cast<Monitor *>(ctx);
+    std::ostringstream ss;
+    mon.dump(ss);
+    const std::string text = ss.str();
+    os << text;
+    // The --dump-file copy persists even when the panic is trapped
+    // (sweep harness): the artifact survives the process either way.
+    if (!mon._dumpFile.empty()) {
+        std::ofstream out(mon._dumpFile, std::ios::app);
+        if (out)
+            out << text;
+    }
 }
 
 } // namespace pm::sim::health

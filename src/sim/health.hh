@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/context.hh"
 #include "sim/event.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -215,16 +216,18 @@ class EventRing
 
 /**
  * The health monitor: owns the watchdog event, the reporter registry,
- * and the panic-context registration that turns every panic into a
+ * and the panic-hook registration that turns every panic into a
  * forensic dump.
  *
- * One Monitor per System. Reporters register in construction order
+ * One Monitor per System, registered with that System's sim::Context —
+ * never with process-global state — so concurrent Systems cannot see
+ * each other's forensics. Reporters register in construction order
  * (deterministic) and must deregister before destruction.
  */
 class Monitor
 {
   public:
-    explicit Monitor(EventQueue &queue);
+    Monitor(EventQueue &queue, Context &context);
     ~Monitor();
 
     Monitor(const Monitor &) = delete;
@@ -278,13 +281,11 @@ class Monitor
     /** One watchdog scan; trips on findings, else reschedules. */
     void scan();
 
-    /** Emit dump() to stderr and the optional dump file. */
-    void emitDump() const;
-
     static Tick tickThunk(void *ctx);
-    static void dumpThunk(void *ctx);
+    static void dumpThunk(void *ctx, std::ostream &os);
 
     EventQueue &_queue;
+    Context &_context;
     std::vector<Reporter *> _reporters;
     Tick _interval = 0;
     Tick _deadline = 0;

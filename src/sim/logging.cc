@@ -2,57 +2,64 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
+#include <sstream>
+
+#include "sim/context.hh"
 
 namespace pm {
 
 namespace {
 
-bool informEnabled = true;
-
-struct PanicContext
+/**
+ * Format the "panic: file:line: [tick N] message" header line. The
+ * tick prefix resolves through the calling thread's current
+ * sim::Context, so concurrent simulations each stamp their own time.
+ */
+std::string
+formatHeader(const char *kind, const char *file, int line,
+             const sim::Context &ctx)
 {
-    PanicTickFn tick = nullptr;
-    PanicDumpFn dump = nullptr;
-    void *ctx = nullptr;
-};
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s: %s:%d: ", kind, file, line);
+    std::string head(buf);
+    if (ctx.tickKnown()) {
+        std::snprintf(buf, sizeof(buf), "[tick %llu] ",
+                      (unsigned long long)ctx.currentTick(0));
+        head += buf;
+    }
+    return head;
+}
 
-std::vector<PanicContext> &
-panicContexts()
+std::string
+vformat(const char *fmt, va_list args)
 {
-    static std::vector<PanicContext> stack;
-    return stack;
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
 }
 
 /**
- * Guards against recursive panics: if a dump hook itself panics (the
- * machine state it walks is, by definition, suspect), the inner panic
- * prints its message and aborts without re-entering the hooks.
+ * Terminal path shared by panicImpl and assertFailImpl: capture the
+ * forensic dump from the current context's hooks, then either throw
+ * (PanicTrap active on this thread — the sweep harness catches it and
+ * keeps sibling points running) or print everything and abort.
  */
-bool panicInProgress = false;
-
-/** Print "[tick N] " when a context is registered. */
-void
-printTick()
+[[noreturn]] void
+finishPanic(sim::Context &ctx, std::string message)
 {
-    const auto &stack = panicContexts();
-    if (!stack.empty() && stack.back().tick)
-        std::fprintf(stderr, "[tick %llu] ",
-                     (unsigned long long)stack.back().tick(
-                         stack.back().ctx));
-}
-
-/** Run every registered dump hook, newest first, at most once. */
-void
-runDumpHooks()
-{
-    if (panicInProgress)
-        return;
-    panicInProgress = true;
-    const auto &stack = panicContexts();
-    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
-        if (it->dump)
-            it->dump(it->ctx);
+    std::ostringstream dump;
+    ctx.runDumpHooks(dump);
+    if (sim::PanicTrap::active())
+        throw sim::PanicError(std::move(message), dump.str());
+    std::fputs(message.c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::fputs(dump.str().c_str(), stderr);
+    std::abort();
 }
 
 } // namespace
@@ -60,46 +67,27 @@ runDumpHooks()
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
-}
-
-void
-pushPanicContext(PanicTickFn tick, PanicDumpFn dump, void *ctx)
-{
-    panicContexts().push_back(PanicContext{tick, dump, ctx});
-}
-
-void
-popPanicContext(void *ctx)
-{
-    auto &stack = panicContexts();
-    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-        if (it->ctx == ctx) {
-            stack.erase(std::next(it).base());
-            return;
-        }
-    }
+    sim::Context::current().setInformEnabled(enabled);
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
-    printTick();
+    sim::Context &ctx = sim::Context::current();
+    std::string msg = formatHeader("panic", file, line, ctx);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    msg += vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    runDumpHooks();
-    std::abort();
+    finishPanic(ctx, std::move(msg));
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
-    printTick();
+    const std::string head =
+        formatHeader("fatal", file, line, sim::Context::current());
+    std::fputs(head.c_str(), stderr);
     va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);
@@ -112,19 +100,18 @@ void
 assertFailImpl(const char *file, int line, const char *cond,
                const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
-    printTick();
-    std::fprintf(stderr, "assertion failed: %s", cond);
+    sim::Context &ctx = sim::Context::current();
+    std::string msg = formatHeader("panic", file, line, ctx);
+    msg += "assertion failed: ";
+    msg += cond;
     if (fmt) {
-        std::fprintf(stderr, ": ");
+        msg += ": ";
         va_list args;
         va_start(args, fmt);
-        std::vfprintf(stderr, fmt, args);
+        msg += vformat(fmt, args);
         va_end(args);
     }
-    std::fprintf(stderr, "\n");
-    runDumpHooks();
-    std::abort();
+    finishPanic(ctx, std::move(msg));
 }
 
 void
@@ -141,7 +128,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!sim::Context::current().informEnabled())
         return;
     std::fprintf(stderr, "info: ");
     va_list args;

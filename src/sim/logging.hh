@@ -45,30 +45,25 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
                                  const char *fmt = nullptr, ...)
     __attribute__((format(printf, 4, 5)));
 
-/** Enable/disable inform() output (benches silence it). */
+/**
+ * Enable/disable inform() output on the calling thread's current
+ * sim::Context (benches silence it; Systems built afterwards inherit
+ * the setting).
+ */
 void setInformEnabled(bool enabled);
 
-/**
- * Panic forensics. A registered context supplies the current simulated
- * tick — printed in every panic()/pm_assert failure — and a dump hook
- * that emits a structured machine snapshot to stderr before abort(),
- * so a crash carries the state needed to diagnose it, not just one
- * line. Contexts nest (the newest supplies the tick; all dump hooks
- * run, newest first) and are raw function pointers, not std::function:
+/*
+ * Panic forensics — the tick prefix on every panic()/pm_assert failure
+ * and the structured machine dump that follows it — resolve through
+ * the calling thread's current sim::Context (sim/context.hh). Register
+ * hooks via Context::pushPanicHook; bind a simulation's context with
+ * Context::Scope. Hooks are raw function pointers, not std::function:
  * this header is on every hot path and the std-function lint rule
  * fences src/sim.
  *
  * fatal() — a user error — prints the tick but runs no dump hooks: a
  * bad command-line flag does not warrant a machine-state dump.
  */
-using PanicTickFn = Tick (*)(void *ctx);
-using PanicDumpFn = void (*)(void *ctx);
-
-/** Register a panic context. */
-void pushPanicContext(PanicTickFn tick, PanicDumpFn dump, void *ctx);
-
-/** Unregister the newest context registered with `ctx`. */
-void popPanicContext(void *ctx);
 
 #define pm_panic(...) ::pm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define pm_fatal(...) ::pm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)

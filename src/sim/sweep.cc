@@ -1,0 +1,94 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/context.hh"
+
+namespace pm::sim::sweep {
+
+namespace detail {
+
+namespace {
+
+/** Shared pool state; workers only touch it through atomics/locks. */
+struct Pool
+{
+    std::size_t count;
+    PointThunk thunk;
+    void *ctx;
+    std::uint64_t seed;
+    bool inform;
+    std::atomic<std::size_t> next{0};
+    std::mutex failLock;
+    std::vector<Failure> failures;
+};
+
+void
+worker(Pool &pool)
+{
+    // A fresh thread starts on its own private default Context — no
+    // setup needed for isolation; only the inform gate is inherited
+    // from the harness options.
+    Context::current().setInformEnabled(pool.inform);
+    for (;;) {
+        const std::size_t i =
+            pool.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= pool.count)
+            return;
+        const Point pt{i, pointSeed(pool.seed, i)};
+        PanicTrap trap;
+        try {
+            pool.thunk(pool.ctx, pt);
+        } catch (const PanicError &e) {
+            const std::lock_guard<std::mutex> lock(pool.failLock);
+            pool.failures.push_back({i, e.what(), e.dump()});
+        } catch (const std::exception &e) {
+            const std::lock_guard<std::mutex> lock(pool.failLock);
+            pool.failures.push_back({i, e.what(), ""});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Failure>
+runRaw(std::size_t count, PointThunk thunk, void *ctx,
+       const Options &options)
+{
+    Pool pool;
+    pool.count = count;
+    pool.thunk = thunk;
+    pool.ctx = ctx;
+    pool.seed = options.seed;
+    pool.inform = options.inform;
+    unsigned jobs =
+        options.jobs ? options.jobs : std::thread::hardware_concurrency();
+    jobs = std::max<unsigned>(jobs, 1);
+    if (count < jobs)
+        jobs = static_cast<unsigned>(count);
+
+    // Even jobs=1 runs on a pool thread: every point then sees the
+    // same environment (a worker's fresh default Context) regardless
+    // of the job count, which is half of the determinism guarantee.
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        threads.emplace_back([&pool] { worker(pool); });
+    for (std::thread &t : threads)
+        t.join();
+
+    // Completion order is scheduling noise; index order is not.
+    std::sort(pool.failures.begin(), pool.failures.end(),
+              [](const Failure &a, const Failure &b) {
+                  return a.index < b.index;
+              });
+    return pool.failures;
+}
+
+} // namespace detail
+
+} // namespace pm::sim::sweep

@@ -22,6 +22,7 @@
 #include "msg/system.hh"
 #include "net/symbol.hh"
 #include "net/transceiver.hh"
+#include "sim/context.hh"
 #include "sim/event.hh"
 #include "sim/fault.hh"
 #include "sim/health.hh"
@@ -45,7 +46,8 @@ smallSystem(unsigned nodes = 2)
 TEST(HealthMonitor, DisabledWatchdogSchedulesNothing)
 {
     sim::EventQueue queue;
-    sim::health::Monitor mon(queue);
+    sim::Context ctx;
+    sim::health::Monitor mon(queue, ctx);
     EXPECT_FALSE(mon.watchdogEnabled());
     EXPECT_EQ(queue.pending(), 0u);
 

@@ -1,0 +1,24 @@
+/**
+ * Fixture: mutable static state (no-static-mutable). Function-local
+ * statics, namespace-scope statics, and thread_locals all survive
+ * across simulations in one process — exactly the cross-contamination
+ * sim::Context exists to prevent.
+ */
+
+#include <cstdint>
+
+namespace pm::sim {
+
+static std::uint64_t totalEvents = 0;
+
+static thread_local int recursionDepth = 0;
+
+unsigned
+nextId()
+{
+    static unsigned counter = 0;
+    return ++counter + static_cast<unsigned>(totalEvents) +
+           static_cast<unsigned>(recursionDepth);
+}
+
+} // namespace pm::sim

@@ -1,0 +1,25 @@
+/**
+ * Fixture: statics the no-static-mutable rule must NOT flag —
+ * immutable data, function declarations/definitions, and the
+ * annotated escape hatch.
+ */
+
+#include <cstdint>
+
+namespace pm::sim {
+
+static constexpr std::uint64_t kLimit = 64;
+static const char *const kName = "fixture";
+
+static std::uint64_t addLimit(std::uint64_t v);
+
+// pmlint: static-ok(fixture: demonstrates the sanctioned escape hatch)
+static std::uint64_t annotatedCounter = 0;
+
+static std::uint64_t
+addLimit(std::uint64_t v)
+{
+    return v + kLimit + annotatedCounter + (kName[0] != '\0');
+}
+
+} // namespace pm::sim

@@ -80,7 +80,8 @@ TEST(PmLint, EverySeededRuleIsDetected)
     for (const char *rule :
          {"[banned-ident]", "[unordered-iter]", "[std-function]",
           "[include-guard]", "[no-iostream]", "[no-raw-abort]",
-          "[assert-side-effect]", "[annotation]"})
+          "[assert-side-effect]", "[annotation]",
+          "[no-static-mutable]"})
         EXPECT_NE(res.output.find(rule), std::string::npos)
             << "rule never fired on fixtures: " << rule;
 }

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the thread-parallel sweep harness (sim/sweep.hh) and the
+ * per-simulation Context isolation it depends on.
+ *
+ * The two load-bearing guarantees:
+ *  - Determinism: a sweep's per-point results (row strings AND the
+ *    forensic dump each point's System would produce) are byte-equal
+ *    whether the points run sequentially or on four threads.
+ *  - Failure propagation: a panicking point surfaces as a Failure
+ *    carrying that point's own message and forensic dump, while its
+ *    sibling points complete normally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machines/machines.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+#include "sim/context.hh"
+#include "sim/logging.hh"
+#include "sim/sweep.hh"
+
+namespace {
+
+using namespace pm;
+
+msg::SystemParams
+twoNodeParams()
+{
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric.clusters = 1;
+    sp.fabric.nodesPerCluster = 2;
+    return sp;
+}
+
+/** One Fig 9-style point: a latency row plus the System's forensic
+ *  dump (the per-point "stats" a failure would report). */
+struct LatencyPoint
+{
+    std::string row;
+    std::string dump;
+};
+
+LatencyPoint
+measurePoint(unsigned bytes)
+{
+    msg::System sys(twoNodeParams());
+    LatencyPoint res;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%u %.3f", bytes,
+                  msg::measureOneWayLatencyUs(sys, 0, 1, bytes, 4));
+    res.row = buf;
+    std::ostringstream os;
+    {
+        sim::Context::Scope scope(sys.context());
+        sim::Context::current().runDumpHooks(os);
+    }
+    res.dump = os.str();
+    return res;
+}
+
+std::vector<LatencyPoint>
+runLatencySweep(unsigned jobs)
+{
+    const std::vector<unsigned> sizes{8u, 64u, 512u, 4096u};
+    sim::sweep::Options opt;
+    opt.jobs = jobs;
+    const auto report = sim::sweep::map(
+        sizes,
+        [](unsigned bytes, const sim::sweep::Point &) {
+            return measurePoint(bytes);
+        },
+        opt);
+    EXPECT_TRUE(report.ok());
+    return report.results;
+}
+
+TEST(Sweep, PointSeedIsDeterministicAndPerPointDistinct)
+{
+    const std::uint64_t a = sim::sweep::pointSeed(7, 0);
+    EXPECT_EQ(a, sim::sweep::pointSeed(7, 0));
+    EXPECT_NE(a, sim::sweep::pointSeed(7, 1));
+    EXPECT_NE(a, sim::sweep::pointSeed(8, 0));
+}
+
+TEST(Sweep, ResultsArriveInWorkListOrder)
+{
+    sim::sweep::Options opt;
+    opt.jobs = 4;
+    const auto report = sim::sweep::run(
+        16, [](const sim::sweep::Point &pt) { return pt.index * 10; },
+        opt);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report.results.size(), 16u);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(report.results[i], i * 10);
+}
+
+TEST(Sweep, ConcurrentRunIsByteIdenticalToSequential)
+{
+    const auto seq = runLatencySweep(1);
+    const auto par = runLatencySweep(4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].row, par[i].row) << "point " << i;
+        EXPECT_EQ(seq[i].dump, par[i].dump) << "point " << i;
+        EXPECT_FALSE(seq[i].dump.empty()) << "point " << i;
+    }
+}
+
+TEST(Sweep, FailingPointReportsItsOwnDumpAndSiblingsComplete)
+{
+    constexpr std::size_t kBad = 2;
+    sim::sweep::Options opt;
+    opt.jobs = 4;
+    const auto report = sim::sweep::run(
+        6,
+        [](const sim::sweep::Point &pt) {
+            msg::System sys(twoNodeParams());
+            const double lat =
+                msg::measureOneWayLatencyUs(sys, 0, 1, 8, 2);
+            if (pt.index == kBad) {
+                sim::Context::Scope scope(sys.context());
+                pm_panic("injected failure at point %zu", pt.index);
+            }
+            return lat;
+        },
+        opt);
+
+    ASSERT_FALSE(report.ok());
+    ASSERT_EQ(report.failures.size(), 1u);
+    const sim::sweep::Failure &f = report.firstFailure();
+    EXPECT_EQ(f.index, kBad);
+    EXPECT_NE(f.message.find("injected failure at point 2"),
+              std::string::npos)
+        << f.message;
+    // The dump is the *failing point's* forensics: its System's health
+    // monitor ran inside the panic, on the worker thread.
+    EXPECT_NE(f.dump.find("=== health dump"), std::string::npos)
+        << f.dump;
+
+    // Every sibling completed with a real measurement.
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        if (i == kBad)
+            continue;
+        EXPECT_GT(report.results[i], 0.0) << "point " << i;
+    }
+}
+
+TEST(Sweep, FailuresAreSortedByIndex)
+{
+    sim::sweep::Options opt;
+    opt.jobs = 4;
+    const auto report = sim::sweep::run(
+        8,
+        [](const sim::sweep::Point &pt) {
+            if (pt.index % 2 == 1)
+                pm_panic("odd point %zu", pt.index);
+            return pt.index;
+        },
+        opt);
+    ASSERT_EQ(report.failures.size(), 4u);
+    for (std::size_t i = 0; i < report.failures.size(); ++i)
+        EXPECT_EQ(report.failures[i].index, 2 * i + 1);
+    EXPECT_EQ(report.firstFailure().index, 1u);
+}
+
+TEST(Context, ScopeBindsAndRestoresCurrent)
+{
+    sim::Context &base = sim::Context::current();
+    sim::Context mine;
+    {
+        sim::Context::Scope scope(mine);
+        EXPECT_EQ(&sim::Context::current(), &mine);
+        sim::Context inner;
+        {
+            sim::Context::Scope nested(inner);
+            EXPECT_EQ(&sim::Context::current(), &inner);
+        }
+        EXPECT_EQ(&sim::Context::current(), &mine);
+    }
+    EXPECT_EQ(&sim::Context::current(), &base);
+}
+
+TEST(Context, SystemsKeepTheirForensicsApart)
+{
+    msg::System a(twoNodeParams());
+    msg::System b(twoNodeParams());
+    EXPECT_NE(&a.context(), &b.context());
+    EXPECT_GE(a.context().panicHooks(), 1u);
+    EXPECT_GE(b.context().panicHooks(), 1u);
+
+    // A panic trapped while A is bound carries A's dump; B's hooks
+    // never run. (The trap converts the panic into an exception.)
+    sim::PanicTrap trap;
+    sim::Context::Scope scope(a.context());
+    try {
+        pm_panic("context isolation probe");
+        FAIL() << "pm_panic returned";
+    } catch (const sim::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("context isolation probe"),
+                  std::string::npos);
+        EXPECT_NE(e.dump().find("=== health dump"), std::string::npos);
+    }
+}
+
+} // namespace

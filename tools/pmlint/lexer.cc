@@ -383,6 +383,7 @@ annotationRules()
         {"iostream-ok", "no-iostream"},
         {"guard-ok", "include-guard"},
         {"abort-ok", "no-raw-abort"},
+        {"static-ok", "no-static-mutable"},
     };
     return kMap;
 }

@@ -250,6 +250,60 @@ checkStdFunction(const SourceFile &f, Diags &out)
     }
 }
 
+// ---- R2b: no mutable static state. ------------------------------------
+
+void
+checkStaticMutable(const SourceFile &f, Diags &out)
+{
+    // Mutable static storage outlives the simulation that wrote it:
+    // two Systems in one process (or two sweep points on one thread)
+    // silently share state that should be per-machine. The rule flags
+    // `static` / `thread_local` declarations that are not const,
+    // constexpr, or constinit. Function declarations (terminator '(')
+    // are fine — they declare code, not state. Known false negative:
+    // a namespace-scope global written without either keyword still
+    // has static storage duration but is indistinguishable from an
+    // expression statement to a token scanner.
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        const bool isStatic = isIdent(t, "static");
+        const bool isTls = isIdent(t, "thread_local");
+        if (!isStatic && !isTls)
+            continue;
+        // `static thread_local` (either order) is one declaration;
+        // diagnose it once at the first keyword.
+        if (i > 0 && (isIdent(toks[i - 1], "static") ||
+                      isIdent(toks[i - 1], "thread_local")))
+            continue;
+        bool immutable = false;
+        std::size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+            if (isPunct(toks[j], "<")) {
+                const std::size_t after = skipTemplateArgs(toks, j);
+                if (after >= toks.size())
+                    break;
+                j = after - 1;
+                continue;
+            }
+            if (isPunct(toks[j], ";") || isPunct(toks[j], "=") ||
+                isPunct(toks[j], "{") || isPunct(toks[j], "("))
+                break;
+            if (isIdent(toks[j], "const") ||
+                isIdent(toks[j], "constexpr") ||
+                isIdent(toks[j], "constinit"))
+                immutable = true;
+        }
+        if (j >= toks.size() || isPunct(toks[j], "(") || immutable)
+            continue;
+        emit(out, f, t.line, "no-static-mutable",
+             std::string("mutable ") + (isTls ? "thread_local" : "static") +
+                 " state survives across simulations in one process; "
+                 "scope it to sim::Context or the owning object, or "
+                 "annotate '// pmlint: static-ok(<reason>)'");
+    }
+}
+
 // ---- R3a: include-guard naming. ---------------------------------------
 
 std::string
@@ -398,7 +452,8 @@ checkAnnotations(const SourceFile &f, Diags &out)
              "malformed pmlint annotation '" + a.name +
                  "'; expected '<name>-ok(<non-empty reason>)' with "
                  "name one of banned-ok, unordered-ok, function-ok, "
-                 "assert-ok, iostream-ok, guard-ok, abort-ok"});
+                 "assert-ok, iostream-ok, guard-ok, abort-ok, "
+                 "static-ok"});
     }
 }
 
@@ -411,6 +466,7 @@ checkFile(const SourceFile &f)
     checkBannedIdents(f, out);
     checkUnorderedIteration(f, out);
     checkStdFunction(f, out);
+    checkStaticMutable(f, out);
     checkIncludeGuard(f, out);
     checkIostream(f, out);
     checkRawAbort(f, out);

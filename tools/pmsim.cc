@@ -12,20 +12,31 @@
  *   pmsim node --machine powermanna --workload hint --type int
  *   pmsim comm --nodes 8 --clusters 2 --op latency --bytes 8
  *   pmsim comm --op bibw --bytes 65536 --count 16
+ *
+ * A comm measurement can sweep one axis across a range, optionally
+ * fanned out over worker threads (one fully isolated System per
+ * point; results are byte-identical for any --jobs value):
+ *
+ *   pmsim comm --op latency --sweep bytes=8:256:*2
+ *   pmsim comm --op soak --count 256 --fault-ber 1e-6 \
+ *              --sweep bytes=64:512:64 --jobs 4
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "machines/machines.hh"
 #include "msg/probes.hh"
 #include "node/node.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/sweep.hh"
 #include "workloads/runner.hh"
 
 namespace {
@@ -96,25 +107,10 @@ class Args
     std::map<std::string, std::string> _kv;
 };
 
-node::NodeParams
-machineByName(const std::string &name)
-{
-    if (name == "powermanna")
-        return machines::powerManna();
-    if (name == "sun")
-        return machines::sunUltra1();
-    if (name == "pc180")
-        return machines::pentiumPc180();
-    if (name == "pc266")
-        return machines::pentiumPc266();
-    pm_fatal("unknown machine '%s' (powermanna|sun|pc180|pc266)",
-             name.c_str());
-}
-
 int
 cmdInfo(const Args &args)
 {
-    const auto cfg = machineByName(args.str("machine", "powermanna"));
+    const auto cfg = machines::byName(args.str("machine", "powermanna"));
     std::printf("%s\n", machines::describe(cfg).c_str());
     return 0;
 }
@@ -122,7 +118,8 @@ cmdInfo(const Args &args)
 int
 cmdNode(const Args &args)
 {
-    node::NodeParams cfg = machineByName(args.str("machine", "powermanna"));
+    node::NodeParams cfg =
+        machines::byName(args.str("machine", "powermanna"));
     const unsigned cpus = args.num("cpus", 1);
     if (cpus > cfg.numCpus)
         cfg.numCpus = cpus;
@@ -167,37 +164,124 @@ cmdNode(const Args &args)
     return 0;
 }
 
-int
-cmdComm(const Args &args)
-{
-    msg::SystemParams sp;
-    sp.node = machineByName(args.str("machine", "powermanna"));
-    sp.fabric.clusters = args.num("clusters", 1);
-    sp.fabric.nodesPerCluster = args.num("nodes", 8);
-    sp.fabric.uplinksPerCluster =
-        sp.fabric.clusters > 1 ? args.num("uplinks", 4) : 0;
-    sp.fabric.ni.fifoWords = args.num("fifo", 32);
+// ---- comm: one measurement point. -----------------------------------------
 
-    // Fault injection: configured before the System so the fabric's
-    // links snapshot the config as they are built. The model must
-    // outlive the System.
-    sim::FaultModel fault(args.u64("fault-seed", 1));
-    fault.defaults.ber = args.dbl("fault-ber", 0.0);
-    fault.defaults.drop = args.dbl("fault-drop", 0.0);
+/** printf-append into a std::string (points render off-thread). */
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/**
+ * Everything one comm measurement needs, fully resolved: a sweep
+ * point copies this and overrides one axis, then builds its own
+ * FaultModel + System from it. Value semantics keep points isolated.
+ */
+struct CommCfg
+{
+    node::NodeParams node;
+    unsigned clusters = 1;
+    unsigned nodes = 8;
+    unsigned uplinks = 4; //!< Applied only when clusters > 1.
+    unsigned fifo = 32;
+
+    double ber = 0.0;
+    double drop = 0.0;
+    std::uint64_t faultSeed = 1;
+    bool haveLinkDown = false;
+    sim::FaultWindow linkDown;
+
+    bool watchdog = false;
+    double watchdogUs = 0.0;
+    double watchdogDeadlineUs = 0.0;
+    std::string dumpFile;
+
+    unsigned src = 0;
+    unsigned dst = 1;
+    unsigned bytes = 8;
+    unsigned count = 32;
+    std::string op = "latency";
+    std::uint64_t soakSeed = 12345;
+    bool stats = false;
+};
+
+CommCfg
+parseCommCfg(const Args &args)
+{
+    CommCfg cfg;
+    cfg.node = machines::byName(args.str("machine", "powermanna"));
+    cfg.clusters = args.num("clusters", 1);
+    cfg.nodes = args.num("nodes", 8);
+    cfg.uplinks = args.num("uplinks", 4);
+    cfg.fifo = args.num("fifo", 32);
+    cfg.ber = args.dbl("fault-ber", 0.0);
+    cfg.drop = args.dbl("fault-drop", 0.0);
+    cfg.faultSeed = args.u64("fault-seed", 1);
     if (args.has("fault-link-down")) {
         const std::string w = args.str("fault-link-down", "");
         const auto colon = w.find(':');
         if (colon == std::string::npos)
             pm_fatal("--fault-link-down expects FROM:TO (microseconds)");
-        sim::FaultWindow win;
-        win.from = static_cast<Tick>(
+        cfg.haveLinkDown = true;
+        cfg.linkDown.from = static_cast<Tick>(
             std::strtod(w.c_str(), nullptr) * kTicksPerUs);
-        win.to = static_cast<Tick>(
+        cfg.linkDown.to = static_cast<Tick>(
             std::strtod(w.c_str() + colon + 1, nullptr) * kTicksPerUs);
-        if (win.to <= win.from)
+        if (cfg.linkDown.to <= cfg.linkDown.from)
             pm_fatal("--fault-link-down window is empty");
-        fault.defaults.down.push_back(win);
     }
+    if (args.has("watchdog")) {
+        cfg.watchdog = true;
+        cfg.watchdogUs = args.dbl("watchdog", 0.0);
+        if (cfg.watchdogUs <= 0.0)
+            pm_fatal("--watchdog expects a scan interval in "
+                     "microseconds");
+        cfg.watchdogDeadlineUs = args.dbl("watchdog-deadline", 0.0);
+    }
+    cfg.dumpFile = args.str("dump-file", "");
+    cfg.src = args.num("src", 0);
+    cfg.dst = args.num("dst", 1);
+    cfg.bytes = args.num("bytes", 8);
+    cfg.count = args.num("count", 32);
+    cfg.op = args.str("op", "latency");
+    cfg.soakSeed = args.u64("seed", 12345);
+    cfg.stats = args.has("stats");
+    return cfg;
+}
+
+/**
+ * Run one comm measurement on a System of its own and return the
+ * report text. Thread-compatible with other points by construction:
+ * no shared mutable state, no stdout until the caller prints.
+ */
+std::string
+runCommPoint(const CommCfg &cfg)
+{
+    msg::SystemParams sp;
+    sp.node = cfg.node;
+    sp.fabric.clusters = cfg.clusters;
+    sp.fabric.nodesPerCluster = cfg.nodes;
+    sp.fabric.uplinksPerCluster = cfg.clusters > 1 ? cfg.uplinks : 0;
+    sp.fabric.ni.fifoWords = cfg.fifo;
+
+    // Fault injection: configured before the System so the fabric's
+    // links snapshot the config as they are built. The model must
+    // outlive the System.
+    sim::FaultModel fault(cfg.faultSeed);
+    fault.defaults.ber = cfg.ber;
+    fault.defaults.drop = cfg.drop;
+    if (cfg.haveLinkDown)
+        fault.defaults.down.push_back(cfg.linkDown);
     if (fault.anyConfigured())
         sp.fabric.fault = &fault;
 
@@ -205,76 +289,204 @@ cmdComm(const Args &args)
 
     // Health: the watchdog is opt-in (zero events when off); the
     // quiescent-machine auditors are always on in pmsim.
-    if (args.has("watchdog")) {
-        const double us = args.dbl("watchdog", 0.0);
-        if (us <= 0.0)
-            pm_fatal("--watchdog expects a scan interval in "
-                     "microseconds");
-        const double deadlineUs = args.dbl("watchdog-deadline", 0.0);
+    if (cfg.watchdog)
         sys.health().enableWatchdog(
-            static_cast<Tick>(us * kTicksPerUs),
-            static_cast<Tick>(deadlineUs * kTicksPerUs));
-    }
-    if (args.has("dump-file"))
-        sys.health().setDumpFile(args.str("dump-file", ""));
+            static_cast<Tick>(cfg.watchdogUs * kTicksPerUs),
+            static_cast<Tick>(cfg.watchdogDeadlineUs * kTicksPerUs));
+    if (!cfg.dumpFile.empty())
+        sys.health().setDumpFile(cfg.dumpFile);
 
-    const unsigned a = args.num("src", 0);
-    const unsigned b = args.num("dst", 1);
-    const unsigned bytes = args.num("bytes", 8);
-    const unsigned count = args.num("count", 32);
-    const std::string op = args.str("op", "latency");
-
-    if (op == "latency") {
-        std::printf("one-way latency %u B: %.2f us\n", bytes,
-                    msg::measureOneWayLatencyUs(sys, a, b, bytes));
-    } else if (op == "gap") {
-        std::printf("gap %u B: %.2f us/message\n", bytes,
-                    msg::measureGapUs(sys, a, b, bytes, count));
-    } else if (op == "unibw") {
-        std::printf("unidirectional %u B: %.1f MB/s\n", bytes,
-                    msg::measureUnidirectionalMBps(sys, a, b, bytes,
-                                                   count));
-    } else if (op == "bibw") {
-        std::printf("bidirectional %u B: %.1f MB/s total\n", bytes,
-                    msg::measureBidirectionalMBps(sys, a, b, bytes,
-                                                  count));
-    } else if (op == "soak") {
+    std::string out;
+    if (cfg.op == "latency") {
+        appendf(out, "one-way latency %u B: %.2f us\n", cfg.bytes,
+                msg::measureOneWayLatencyUs(sys, cfg.src, cfg.dst,
+                                            cfg.bytes));
+    } else if (cfg.op == "gap") {
+        appendf(out, "gap %u B: %.2f us/message\n", cfg.bytes,
+                msg::measureGapUs(sys, cfg.src, cfg.dst, cfg.bytes,
+                                  cfg.count));
+    } else if (cfg.op == "unibw") {
+        appendf(out, "unidirectional %u B: %.1f MB/s\n", cfg.bytes,
+                msg::measureUnidirectionalMBps(sys, cfg.src, cfg.dst,
+                                               cfg.bytes, cfg.count));
+    } else if (cfg.op == "bibw") {
+        appendf(out, "bidirectional %u B: %.1f MB/s total\n", cfg.bytes,
+                msg::measureBidirectionalMBps(sys, cfg.src, cfg.dst,
+                                              cfg.bytes, cfg.count));
+    } else if (cfg.op == "soak") {
         std::ostringstream driverStats;
         const auto r = msg::runDeliverySoak(
-            sys, a, b, bytes, count, args.u64("seed", 12345),
-            /*window=*/16, args.has("stats") ? &driverStats : nullptr);
-        std::printf("soak %u x %u B: delivered %u/%u %s in %.1f us\n",
-                    count, bytes, r.delivered, count,
-                    r.intact ? "intact" : "CORRUPTED", r.elapsedUs);
-        std::printf("  retransmits          %.0f\n"
-                    "  crc_drops            %.0f\n"
-                    "  duplicate_discards   %.0f\n"
-                    "  out_of_order_discards %.0f\n"
-                    "  timeouts             %.0f\n"
-                    "  acks_sent            %.0f\n"
-                    "  nacks_sent           %.0f\n"
-                    "  delivery_failures    %.0f\n"
-                    "  receiver_failures    %.0f\n",
-                    r.retransmits, r.crcDrops, r.duplicateDiscards,
-                    r.outOfOrderDiscards, r.timeouts, r.acksSent,
-                    r.nacksSent, r.deliveryFailures,
-                    r.receiverFailures);
+            sys, cfg.src, cfg.dst, cfg.bytes, cfg.count, cfg.soakSeed,
+            /*window=*/16, cfg.stats ? &driverStats : nullptr);
+        appendf(out, "soak %u x %u B: delivered %u/%u %s in %.1f us\n",
+                cfg.count, cfg.bytes, r.delivered, cfg.count,
+                r.intact ? "intact" : "CORRUPTED", r.elapsedUs);
+        appendf(out,
+                "  retransmits          %.0f\n"
+                "  crc_drops            %.0f\n"
+                "  duplicate_discards   %.0f\n"
+                "  out_of_order_discards %.0f\n"
+                "  timeouts             %.0f\n"
+                "  acks_sent            %.0f\n"
+                "  nacks_sent           %.0f\n"
+                "  delivery_failures    %.0f\n"
+                "  receiver_failures    %.0f\n",
+                r.retransmits, r.crcDrops, r.duplicateDiscards,
+                r.outOfOrderDiscards, r.timeouts, r.acksSent,
+                r.nacksSent, r.deliveryFailures, r.receiverFailures);
         if (r.senderDead || r.receiverDead)
-            std::printf("  peer death: %s%s%s\n",
-                        r.senderDead ? "sender gave up" : "",
-                        r.senderDead && r.receiverDead ? ", " : "",
-                        r.receiverDead ? "receiver gave up" : "");
-        if (args.has("stats"))
-            std::fputs(driverStats.str().c_str(), stdout);
+            appendf(out, "  peer death: %s%s%s\n",
+                    r.senderDead ? "sender gave up" : "",
+                    r.senderDead && r.receiverDead ? ", " : "",
+                    r.receiverDead ? "receiver gave up" : "");
+        out += driverStats.str();
     } else {
         pm_fatal("unknown op '%s' (latency|gap|unibw|bibw|soak)",
-                 op.c_str());
+                 cfg.op.c_str());
     }
-    if (args.has("stats")) {
+    if (cfg.stats) {
         std::ostringstream os;
         fault.stats().dump(os);
         sys.health().stats().dump(os);
-        std::fputs(os.str().c_str(), stdout);
+        out += os.str();
+    }
+    return out;
+}
+
+// ---- comm: axis sweeps. ---------------------------------------------------
+
+struct SweepSpec
+{
+    std::string axis;
+    std::vector<double> values;
+};
+
+/**
+ * Parse `<axis>=<lo>:<hi>:<step>` (additive) or
+ * `<axis>=<lo>:<hi>:*<factor>` (multiplicative). Axes: bytes, count,
+ * nodes, clusters, fifo, ber.
+ */
+SweepSpec
+parseSweepSpec(const std::string &spec)
+{
+    SweepSpec s;
+    const auto eq = spec.find('=');
+    const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq);
+    const auto c2 =
+        c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+    if (eq == std::string::npos || c1 == std::string::npos ||
+        c2 == std::string::npos)
+        pm_fatal("--sweep expects <axis>=<lo>:<hi>:<step> "
+                 "(or :*<factor>), got '%s'",
+                 spec.c_str());
+    s.axis = spec.substr(0, eq);
+    const double lo = std::strtod(spec.c_str() + eq + 1, nullptr);
+    const double hi = std::strtod(spec.c_str() + c1 + 1, nullptr);
+    const bool geometric = spec[c2 + 1] == '*';
+    const double step =
+        std::strtod(spec.c_str() + c2 + 1 + (geometric ? 1 : 0),
+                    nullptr);
+    if (geometric ? (step <= 1.0 || lo <= 0.0) : step <= 0.0)
+        pm_fatal("--sweep step must be %s, got '%s'",
+                 geometric ? "a factor > 1 with lo > 0" : "> 0",
+                 spec.c_str());
+    if (hi < lo)
+        pm_fatal("--sweep range is empty: '%s'", spec.c_str());
+    // Epsilon absorbs accumulated floating-point error so the upper
+    // bound itself is included (bytes=8:64:*2 ends at 64).
+    for (double v = lo; v <= hi * (1.0 + 1e-9);
+         v = geometric ? v * step : v + step) {
+        s.values.push_back(v);
+        if (s.values.size() > 100000)
+            pm_fatal("--sweep would generate >100000 points: '%s'",
+                     spec.c_str());
+    }
+    return s;
+}
+
+/** Override one axis of a point's config. */
+void
+applyAxis(CommCfg &cfg, const std::string &axis, double v)
+{
+    if (axis == "bytes")
+        cfg.bytes = static_cast<unsigned>(v);
+    else if (axis == "count")
+        cfg.count = static_cast<unsigned>(v);
+    else if (axis == "nodes")
+        cfg.nodes = static_cast<unsigned>(v);
+    else if (axis == "clusters")
+        cfg.clusters = static_cast<unsigned>(v);
+    else if (axis == "fifo")
+        cfg.fifo = static_cast<unsigned>(v);
+    else if (axis == "ber")
+        cfg.ber = v;
+    else
+        pm_fatal("unknown sweep axis '%s' "
+                 "(bytes|count|nodes|clusters|fifo|ber)",
+                 axis.c_str());
+}
+
+/** Row label: "bytes=4096" / "ber=1e-06". */
+std::string
+axisLabel(const std::string &axis, double v)
+{
+    char buf[64];
+    if (axis == "ber")
+        std::snprintf(buf, sizeof(buf), "%s=%g", axis.c_str(), v);
+    else
+        std::snprintf(buf, sizeof(buf), "%s=%u", axis.c_str(),
+                      static_cast<unsigned>(v));
+    return buf;
+}
+
+int
+cmdComm(const Args &args)
+{
+    const CommCfg base = parseCommCfg(args);
+    if (!args.has("sweep")) {
+        std::fputs(runCommPoint(base).c_str(), stdout);
+        return 0;
+    }
+
+    const SweepSpec spec = parseSweepSpec(args.str("sweep", ""));
+    // Validate the axis name before spawning anything.
+    {
+        CommCfg probe = base;
+        applyAxis(probe, spec.axis, spec.values.front());
+    }
+
+    sim::sweep::Options opt;
+    opt.jobs = args.num("jobs", 1);
+    opt.seed = base.faultSeed;
+    const auto report = sim::sweep::map(
+        spec.values,
+        [&base, &spec](double v, const sim::sweep::Point &) {
+            // The user's fault seed is kept per point, so every sweep
+            // row is byte-identical to the same single-point run.
+            CommCfg cfg = base;
+            applyAxis(cfg, spec.axis, v);
+            return runCommPoint(cfg);
+        },
+        opt);
+
+    std::size_t nextFail = 0;
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        if (nextFail < report.failures.size() &&
+            report.failures[nextFail].index == i) {
+            ++nextFail; // reported on stderr below; keep stdout rows
+            continue;
+        }
+        std::printf("[%s] %s",
+                    axisLabel(spec.axis, spec.values[i]).c_str(),
+                    report.results[i].c_str());
+    }
+    if (!report.ok()) {
+        const auto &f = report.firstFailure();
+        std::fprintf(stderr, "sweep point %zu (%s) failed:\n%s\n%s",
+                     f.index,
+                     axisLabel(spec.axis, spec.values[f.index]).c_str(),
+                     f.message.c_str(), f.dump.c_str());
+        return 1;
     }
     return 0;
 }
@@ -295,6 +507,9 @@ usage()
                  "       [--fault-seed S] [--fault-link-down FROM:TO]\n"
                  "       [--watchdog US] [--watchdog-deadline US]\n"
                  "       [--dump-file PATH] [--stats]\n"
+                 "       [--sweep AXIS=LO:HI:STEP] [--jobs N]\n"
+                 "         AXIS: bytes|count|nodes|clusters|fifo|ber;\n"
+                 "         STEP: additive, or *F for a factor\n"
                  "machines: powermanna sun pc180 pc266\n");
 }
 
