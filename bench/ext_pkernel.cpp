@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Extension bench: the partitioned conservative-parallel event kernel.
+ *
+ * Two halves:
+ *
+ *  1. Anchor guard — the Figure 9/11/12 paper anchors (2.746 us one-way
+ *     latency at 8 bytes, 59.9 MB/s unidirectional at 16 KB, 85.7 MB/s
+ *     bidirectional at 64 KB) must come out byte-identical on the
+ *     classic kernel, the partitioned kernel at 1 thread, and the
+ *     partitioned kernel at 4 threads. These are single-cluster
+ *     machines, so the partitioned build degenerates to one domain and
+ *     any drift here is a kernel bug, not a modelling change.
+ *
+ *  2. Speedup — a four-cluster ring of concurrent streams (every
+ *     cluster sends to the next, all simultaneously, so all five
+ *     partitions have work in every window) wall-clock timed at 1 vs 4
+ *     worker threads. The simulated results must match exactly; only
+ *     the host time may differ. Results go to BENCH_pkernel.json for
+ *     the CI artifact.
+ *
+ * Exit is nonzero if any anchor drifts or any thread count disagrees
+ * on the simulated outcome.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machines/machines.hh"
+#include "msg/driver.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+#include "sim/logging.hh"
+#include "sweep_support.hh"
+
+namespace {
+
+using namespace pm;
+
+msg::SystemParams
+params(unsigned clusters, unsigned nodesPerCluster,
+       unsigned kernelThreads)
+{
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric = machines::powerMannaFabric(clusters, nodesPerCluster);
+    sp.kernelThreads = kernelThreads;
+    return sp;
+}
+
+// ---- Anchor guard. --------------------------------------------------------
+
+struct Anchors
+{
+    double latUs = 0.0; //!< Fig 9: 8-byte one-way latency.
+    double uniMBps = 0.0; //!< Fig 11: 16 KB unidirectional.
+    double biMBps = 0.0; //!< Fig 12: 64 KB bidirectional.
+    std::string row;
+};
+
+Anchors
+measureAnchors(unsigned kernelThreads)
+{
+    Anchors a;
+    {
+        // Same machine and order as ext_reliability's anchor point.
+        msg::System sys(params(1, 2, kernelThreads));
+        a.latUs = msg::measureOneWayLatencyUs(sys, 0, 1, 8);
+        a.uniMBps = msg::measureUnidirectionalMBps(sys, 0, 1, 16384);
+    }
+    {
+        // Same machine as fig12_bidir_bw's 64 KB row.
+        msg::System sys(params(1, 8, kernelThreads));
+        a.biMBps = msg::measureBidirectionalMBps(sys, 0, 1, 65536, 12);
+    }
+    benchsup::appendf(a.row, "%.3f %.1f %.1f", a.latUs, a.uniMBps,
+                      a.biMBps);
+    return a;
+}
+
+// ---- Four-cluster ring workload. ------------------------------------------
+
+constexpr unsigned kClusters = 4;
+// Every node streams, so each cluster partition executes
+// kNodesPerCluster concurrent drivers per 0.2 us lookahead window —
+// the denser the windows, the better the barrier cost amortizes
+// across worker threads (the traffic itself is wire-rate-bound, so
+// message size does not change per-window event density).
+constexpr unsigned kNodesPerCluster = 4;
+constexpr unsigned kMsgCount = 8; //!< Messages per stream.
+constexpr std::uint64_t kMsgBytes = 4096;
+constexpr unsigned kWindow = 8; //!< Sends in flight per stream.
+
+struct WorkloadResult
+{
+    double wallMs = 0.0; //!< Host time (the only field allowed to vary).
+    Tick simEnd = 0;
+    std::uint64_t received = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t crossPosts = 0;
+};
+
+WorkloadResult
+runRing(unsigned kernelThreads)
+{
+    msg::System sys(params(kClusters, kNodesPerCluster, kernelThreads));
+    sim::Context::Scope scope(sys.context());
+
+    // One endpoint per node; node i of cluster c streams to node i of
+    // cluster (c+1) % kClusters. All streams run concurrently, so
+    // every cluster partition drives kNodesPerCluster senders and
+    // receivers in every window while the hub partition routes
+    // continuously.
+    const unsigned kStreams = kClusters * kNodesPerCluster;
+    std::vector<std::unique_ptr<msg::PmComm>> comms;
+    for (unsigned n = 0; n < kStreams; ++n)
+        comms.push_back(std::make_unique<msg::PmComm>(sys, n));
+
+    std::vector<unsigned> issued(kStreams, 0);
+    std::vector<unsigned> received(kStreams, 0);
+    std::vector<std::function<void()>> sendNext(kStreams);
+    std::function<void(unsigned)> armRecv = [&](unsigned n) {
+        comms[n]->postRecv(
+            [&, n](std::vector<std::uint64_t>, bool) {
+                ++received[n];
+                armRecv(n);
+            });
+    };
+    for (unsigned n = 0; n < kStreams; ++n) {
+        const unsigned cluster = n / kNodesPerCluster;
+        const unsigned local = n % kNodesPerCluster;
+        const unsigned dst =
+            ((cluster + 1) % kClusters) * kNodesPerCluster + local;
+        sendNext[n] = [&, n, dst] {
+            if (issued[n] >= kMsgCount)
+                return;
+            const unsigned seq = issued[n]++;
+            comms[n]->postSend(dst,
+                               msg::makePayload(kMsgBytes, seq),
+                               [&, n] { sendNext[n](); });
+        };
+        armRecv(n);
+    }
+    for (unsigned w = 0; w < kWindow; ++w)
+        for (unsigned n = 0; n < kStreams; ++n)
+            sendNext[n]();
+
+    // Perpetually re-armed receives keep the drivers polling (and the
+    // queues non-empty) forever, so termination must be explicit: run
+    // to the delivery target, then drain the trailing ACK handshakes
+    // and the wires like the probes do.
+    const auto allReceived = [&] {
+        for (unsigned n = 0; n < kStreams; ++n)
+            if (received[n] < kMsgCount)
+                return false;
+        return true;
+    };
+    const auto allQuiet = [&] {
+        for (const auto &comm : comms)
+            if (!comm->quiescent())
+                return false;
+        return sys.fabric().wireQuiet();
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!allReceived() && sys.pump() != 0) {
+    }
+    while (!allQuiet() && sys.pump() != 0) {
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    WorkloadResult res;
+    res.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    res.simEnd = sys.simNow();
+    for (unsigned n = 0; n < kStreams; ++n) {
+        if (received[n] != kMsgCount)
+            pm_panic("ext_pkernel: stream %u delivered %u/%u messages",
+                     n, received[n], kMsgCount);
+        res.received += received[n];
+    }
+    res.windows = sys.kernel().windows();
+    res.crossPosts = sys.kernel().crossPosts();
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    pm::setInformEnabled(false);
+
+    // ---- Anchors at classic / 1 thread / 4 threads. ----
+    std::printf("== ext_pkernel: anchors (fig9 us / fig11 MB/s / "
+                "fig12 MB/s) ==\n");
+    const Anchors classic = measureAnchors(0);
+    const Anchors one = measureAnchors(1);
+    const Anchors four = measureAnchors(4);
+    std::printf("  classic         : %s\n", classic.row.c_str());
+    std::printf("  kernel-threads 1: %s\n", one.row.c_str());
+    std::printf("  kernel-threads 4: %s\n", four.row.c_str());
+    if (one.row != classic.row || four.row != classic.row) {
+        std::fprintf(stderr, "ext_pkernel: anchors drift across kernel "
+                             "thread counts\n");
+        return 1;
+    }
+    const auto off = [](double v, double paper) {
+        return v < paper * 0.99 || v > paper * 1.01;
+    };
+    if (off(classic.latUs, 2.746) || off(classic.uniMBps, 59.9) ||
+        off(classic.biMBps, 85.7)) {
+        std::fprintf(stderr, "ext_pkernel: anchors off the paper values "
+                             "(2.746 / 59.9 / 85.7): %s\n",
+                     classic.row.c_str());
+        return 1;
+    }
+
+    // ---- Four-cluster ring at 1 vs 4 worker threads. ----
+    std::printf("\n== ext_pkernel: 4-cluster ring, %u x %u msg x %llu B "
+                "==\n",
+                kClusters, kMsgCount,
+                (unsigned long long)kMsgBytes);
+    const WorkloadResult w1 = runRing(1);
+    const WorkloadResult w4 = runRing(4);
+    if (w1.simEnd != w4.simEnd || w1.received != w4.received ||
+        w1.windows != w4.windows || w1.crossPosts != w4.crossPosts) {
+        std::fprintf(stderr,
+                     "ext_pkernel: simulated outcome differs across "
+                     "thread counts (simEnd %llu vs %llu)\n",
+                     (unsigned long long)w1.simEnd,
+                     (unsigned long long)w4.simEnd);
+        return 1;
+    }
+    const double speedup = w4.wallMs > 0.0 ? w1.wallMs / w4.wallMs : 0.0;
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("  1 thread : %8.1f ms wall, sim end %.1f us\n",
+                w1.wallMs, ticksToUs(w1.simEnd));
+    std::printf("  4 threads: %8.1f ms wall (identical simulation)\n",
+                w4.wallMs);
+    std::printf("  speedup  : %.2fx on a %u-thread host; windows %llu, "
+                "cross-partition events %llu\n",
+                speedup, hw, (unsigned long long)w1.windows,
+                (unsigned long long)w1.crossPosts);
+
+    // ---- BENCH_pkernel.json for the CI artifact. ----
+    FILE *json = std::fopen("BENCH_pkernel.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "ext_pkernel: cannot write "
+                             "BENCH_pkernel.json\n");
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"anchors\": {\n"
+        "    \"fig9_latency_us\": %.3f,\n"
+        "    \"fig11_unidir_mbps\": %.1f,\n"
+        "    \"fig12_bidir_mbps\": %.1f,\n"
+        "    \"identical_at_kernel_threads\": [0, 1, 4]\n"
+        "  },\n"
+        "  \"ring\": {\n"
+        "    \"clusters\": %u,\n"
+        "    \"messages_per_stream\": %u,\n"
+        "    \"message_bytes\": %llu,\n"
+        "    \"sim_end_us\": %.3f,\n"
+        "    \"windows\": %llu,\n"
+        "    \"cross_partition_events\": %llu,\n"
+        "    \"wall_ms_threads1\": %.3f,\n"
+        "    \"wall_ms_threads4\": %.3f,\n"
+        "    \"speedup\": %.3f,\n"
+        "    \"host_hardware_threads\": %u\n"
+        "  }\n"
+        "}\n",
+        classic.latUs, classic.uniMBps, classic.biMBps, kClusters,
+        kMsgCount, (unsigned long long)kMsgBytes,
+        ticksToUs(w1.simEnd), (unsigned long long)w1.windows,
+        (unsigned long long)w1.crossPosts, w1.wallMs, w4.wallMs,
+        speedup, hw);
+    std::fclose(json);
+    std::printf("  wrote BENCH_pkernel.json\n");
+    return 0;
+}

@@ -20,23 +20,67 @@
 #include <cstring>
 #include <string>
 
+#include "sim/parse.hh"
 #include "sim/sweep.hh"
 
 namespace pm::benchsup {
 
-/** Parse `--jobs N` / `--jobs=N` from a bench's argv (default 1). */
+/**
+ * Parse `--jobs N` / `--jobs=N` from a bench's argv (default 1).
+ * Strict: `--jobs garbage` used to strtoul to 0 — which means "one
+ * worker per hardware thread" — silently turning a typo into a
+ * different execution. Non-numeric or trailing-junk values are a
+ * usage error (exit 2).
+ */
 inline unsigned
 jobsFromArgv(int argc, char **argv)
 {
+    const auto parse = [](const char *v) -> unsigned {
+        unsigned jobs = 0;
+        if (!sim::parse::u32(v, jobs)) {
+            std::fprintf(stderr,
+                         "--jobs expects an unsigned number, got '%s'\n",
+                         v);
+            std::exit(2);
+        }
+        return jobs;
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            return static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 0));
+            return parse(argv[i + 1]);
         if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            return static_cast<unsigned>(
-                std::strtoul(argv[i] + 7, nullptr, 0));
+            return parse(argv[i] + 7);
     }
     return 1;
+}
+
+/**
+ * Parse `--kernel-threads N` / `--kernel-threads=N` from a bench's
+ * argv (default 0 = classic kernel), with the same strictness as
+ * jobsFromArgv. Benches pass the value into
+ * msg::SystemParams::kernelThreads.
+ */
+inline unsigned
+kernelThreadsFromArgv(int argc, char **argv)
+{
+    const auto parse = [](const char *v) -> unsigned {
+        unsigned threads = 0;
+        if (!sim::parse::u32(v, threads) || threads == 0) {
+            std::fprintf(stderr,
+                         "--kernel-threads expects a thread count >= 1, "
+                         "got '%s'\n",
+                         v);
+            std::exit(2);
+        }
+        return threads;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--kernel-threads") == 0 && i + 1 < argc)
+            return parse(argv[i + 1]);
+        if (std::strncmp(argv[i], "--kernel-threads=", 17) == 0)
+            return parse(argv[i] + 17);
+    }
+    return 0;
 }
 
 /** Harness options for a bench: --jobs from argv, quiet workers. */

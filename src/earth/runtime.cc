@@ -276,6 +276,10 @@ Runtime::Runtime(msg::System &sys, EarthCosts costs)
     : _sys(sys),
       _costs(costs)
 {
+    if (sys.partitioned())
+        pm_fatal("earth: the runtime schedules every node's EU on "
+                 "queue() and shares token state across nodes; build "
+                 "the System with kernelThreads = 0");
     sys.resetForRun();
     sys.health().add(this);
     _lastToken = sys.queue().now();

@@ -203,6 +203,21 @@ allNodeConfigs()
     return {powerManna(), sunUltra1(), pentiumPc180(), pentiumPc266()};
 }
 
+net::FabricParams
+powerMannaFabric(unsigned clusters, unsigned nodesPerCluster)
+{
+    if (clusters == 0 || clusters > 16)
+        pm_fatal("powerMannaFabric: clusters must be 1..16, got %u",
+                 clusters);
+    if (nodesPerCluster == 0 || nodesPerCluster > 8)
+        pm_fatal("powerMannaFabric: nodesPerCluster must be 1..8, got %u",
+                 nodesPerCluster);
+    net::FabricParams fp; // Defaults are the Section 2 parameters.
+    fp.clusters = clusters;
+    fp.nodesPerCluster = nodesPerCluster;
+    return fp;
+}
+
 node::NodeParams
 byName(const std::string &name)
 {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "net/topology.hh"
 #include "node/node.hh"
 
 namespace pm::machines {
@@ -41,6 +42,16 @@ node::NodeParams pentiumPc266();
 
 /** All four node configurations used in Section 5.1. */
 std::vector<node::NodeParams> allNodeConfigs();
+
+/**
+ * The PowerMANNA fabric at a given size: `clusters` Figure-5a
+ * backplanes of `nodesPerCluster` nodes each, joined through the
+ * second crossbar level when clusters > 1 (Section 2's parameters are
+ * the FabricParams defaults). This is the shape the partitioned event
+ * kernel domains map onto — see net::Fabric::domainsFor.
+ */
+net::FabricParams powerMannaFabric(unsigned clusters,
+                                   unsigned nodesPerCluster);
 
 /**
  * Look a machine up by its CLI name: powermanna, sun, pc180, or

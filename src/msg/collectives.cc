@@ -13,6 +13,10 @@ Communicator::Communicator(System &sys, std::vector<unsigned> nodes)
 {
     if (_nodes.size() < 2)
         pm_fatal("communicator: need at least two ranks");
+    if (sys.partitioned())
+        pm_fatal("communicator: collectives share per-operation state "
+                 "across all ranks and step queue() directly; build the "
+                 "System with kernelThreads = 0");
     for (unsigned n : _nodes)
         _comms.push_back(std::make_unique<PmComm>(sys, n));
 }

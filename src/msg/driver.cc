@@ -66,6 +66,7 @@ seqDiff(std::uint16_t a, std::uint16_t b)
 PmComm::PmComm(System &sys, unsigned nodeId, unsigned cpu, unsigned net,
                DriverCosts costs)
     : _sys(sys),
+      _queue(sys.queueFor(nodeId)),
       _nodeId(nodeId),
       _net(net),
       _costs(costs),
@@ -95,28 +96,28 @@ PmComm::~PmComm()
     _sys.health().remove(this);
     _sys.removeResettable(this);
     // Harmlessly return false for events that already ran.
-    _sys.queue().cancel(_engineEvent);
+    _queue.cancel(_engineEvent);
     for (auto &[dst, peer] : _tx)
-        _sys.queue().cancel(peer.timer);
+        _queue.cancel(peer.timer);
     for (auto &[src, peer] : _rx)
-        _sys.queue().cancel(peer.ackTimer);
+        _queue.cancel(peer.ackTimer);
 }
 
 void
 PmComm::resetForRun()
 {
-    _sys.queue().cancel(_engineEvent);
+    _queue.cancel(_engineEvent);
     for (auto &[dst, peer] : _tx)
-        _sys.queue().cancel(peer.timer);
+        _queue.cancel(peer.timer);
     for (auto &[src, peer] : _rx)
-        _sys.queue().cancel(peer.ackTimer);
+        _queue.cancel(peer.ackTimer);
     _sends.clear();
     _recvs.clear();
     _tx.clear();
     _rx.clear();
     _cur = {};
     _stash.clear();
-    _lastProgress = _sys.queue().now();
+    _lastProgress = _queue.now();
 }
 
 bool
@@ -171,7 +172,7 @@ PmComm::postSend(unsigned dstNode, std::vector<std::uint64_t> payload,
         std::move(payload));
     peer.unackedWords += sp->size();
     peer.unacked.push_back(Unacked{seq, sp, srcAddr, true});
-    peer.lastAdvance = _sys.queue().now();
+    peer.lastAdvance = _queue.now();
 
     SendOp op;
     op.dst = dstNode;
@@ -212,17 +213,16 @@ void
 PmComm::kick()
 {
     const Tick when =
-        _proc.time() > _sys.queue().now() ? _proc.time()
-                                          : _sys.queue().now();
+        _proc.time() > _queue.now() ? _proc.time() : _queue.now();
     scheduleEngine(when);
 }
 
 void
 PmComm::scheduleEngine(Tick when)
 {
-    if (_sys.queue().scheduled(_engineEvent))
+    if (_queue.scheduled(_engineEvent))
         return;
-    _engineEvent = _sys.queue().schedule(when, [this] { engine(); });
+    _engineEvent = _queue.schedule(when, [this] { engine(); });
 }
 
 // ---- Receive side. ------------------------------------------------------
@@ -404,7 +404,7 @@ PmComm::finishMessage()
     }
     peer.expect = static_cast<std::uint16_t>(peer.expect + 1);
     ++messagesReceived;
-    _ring.push(_sys.queue().now(), "recvd", h.src, h.seq);
+    _ring.push(_queue.now(), "recvd", h.src, h.seq);
     noteDelivered(h.src);
     pm_trace(_proc.time(), "driver",
              "node%u: received %zu-word message seq %u from %u",
@@ -433,14 +433,14 @@ PmComm::noteDelivered(unsigned src)
     ++peer.sinceAck;
     if (peer.sinceAck >= _costs.ackEvery) {
         peer.sinceAck = 0;
-        _sys.queue().cancel(peer.ackTimer);
+        _queue.cancel(peer.ackTimer);
         queueControl(kAck, src);
         return;
     }
-    if (!_sys.queue().scheduled(peer.ackTimer)) {
-        const Tick base = std::max(_sys.queue().now(), _proc.time());
+    if (!_queue.scheduled(peer.ackTimer)) {
+        const Tick base = std::max(_queue.now(), _proc.time());
         peer.ackTimer =
-            _sys.queue().schedule(base + _clk.cycles(_costs.ackDelay),
+            _queue.schedule(base + _clk.cycles(_costs.ackDelay),
                                   [this, src] { ackTimerFired(src); });
     }
 }
@@ -463,7 +463,7 @@ PmComm::piggybackAckCleared(unsigned dst)
     if (it == _rx.end())
         return;
     it->second.sinceAck = 0;
-    _sys.queue().cancel(it->second.ackTimer);
+    _queue.cancel(it->second.ackTimer);
 }
 
 // ---- Send side. ---------------------------------------------------------
@@ -523,8 +523,8 @@ PmComm::handleAck(unsigned src, std::uint16_t ack)
     if (progress) {
         peer.strikes = 0;
         peer.backoff = 0;
-        peer.lastAdvance = _sys.queue().now();
-        _sys.queue().cancel(peer.timer);
+        peer.lastAdvance = _queue.now();
+        _queue.cancel(peer.timer);
         armRetransTimer(src, peer);
     }
 }
@@ -559,13 +559,13 @@ PmComm::armRetransTimer(unsigned dst, TxPeer &peer)
 {
     if (peer.unacked.empty() || peer.dead)
         return;
-    if (_sys.queue().scheduled(peer.timer))
+    if (_queue.scheduled(peer.timer))
         return;
     const Cycles wait =
         (_costs.retransBase + _costs.retransPerWord * peer.unackedWords)
         << std::min(peer.backoff, 12u);
-    const Tick base = std::max(_sys.queue().now(), _proc.time());
-    peer.timer = _sys.queue().schedule(
+    const Tick base = std::max(_queue.now(), _proc.time());
+    peer.timer = _queue.schedule(
         base + _clk.cycles(wait), [this, dst] { retransTimerFired(dst); });
 }
 
@@ -576,9 +576,9 @@ PmComm::retransTimerFired(unsigned dst)
     if (peer.dead || peer.unacked.empty())
         return;
     ++timeouts;
-    _ring.push(_sys.queue().now(), "timeout", dst, peer.strikes + 1);
+    _ring.push(_queue.now(), "timeout", dst, peer.strikes + 1);
     peer.backoff = std::min(peer.backoff + 1, 12u);
-    pm_trace(_sys.queue().now(), "driver",
+    pm_trace(_queue.now(), "driver",
              "node%u: retransmit timeout to %u (strike %u, backoff %u)",
              _nodeId, dst, peer.strikes + 1, peer.backoff);
     strike(dst, peer);
@@ -602,14 +602,14 @@ void
 PmComm::fail(unsigned dst, TxPeer &peer)
 {
     peer.dead = true;
-    _sys.queue().cancel(peer.timer);
+    _queue.cancel(peer.timer);
     const std::uint16_t seq =
         peer.unacked.empty() ? peer.nextSeq : peer.unacked.front().seq;
     const unsigned abandoned =
         static_cast<unsigned>(peer.unacked.size());
     peer.unacked.clear();
     peer.unackedWords = 0;
-    _ring.push(_sys.queue().now(), "peer-dead", dst, abandoned);
+    _ring.push(_queue.now(), "peer-dead", dst, abandoned);
     // Drop queued sends to the dead destination (a started op finishes
     // its wire protocol so the link stays consistent).
     for (auto it = _sends.begin(); it != _sends.end();) {
@@ -619,7 +619,7 @@ PmComm::fail(unsigned dst, TxPeer &peer)
             ++it;
     }
     ++deliveryFailures;
-    pm_trace(_sys.queue().now(), "driver",
+    pm_trace(_queue.now(), "driver",
              "node%u: delivery to %u FAILED at seq %u", _nodeId, dst,
              seq);
     if (_onFailure) {
@@ -722,10 +722,10 @@ PmComm::serviceSend()
                 ++nacksSent;
         } else if (op.retransmit) {
             ++retransmits;
-            _ring.push(_sys.queue().now(), "retransmit", op.dst, op.seq);
+            _ring.push(_queue.now(), "retransmit", op.dst, op.seq);
         } else {
             ++messagesSent;
-            _ring.push(_sys.queue().now(), "sent", op.dst, op.seq);
+            _ring.push(_queue.now(), "sent", op.dst, op.seq);
         }
         if (!op.control) {
             TxPeer &peer = _tx[op.dst];
@@ -840,7 +840,7 @@ PmComm::workPending() const
 void
 PmComm::engine()
 {
-    _proc.advanceTo(_sys.queue().now());
+    _proc.advanceTo(_queue.now());
 
     // Receive first: the paper's driver empties the receive FIFO
     // between send bursts so the incoming link never backs up into the
@@ -848,7 +848,7 @@ PmComm::engine()
     bool progress = serviceRecv();
     progress |= serviceSend();
     if (progress)
-        _lastProgress = _sys.queue().now();
+        _lastProgress = _queue.now();
 
     if (!workPending())
         return;

@@ -134,6 +134,20 @@ class PmComm : public Resettable, public sim::health::Reporter
     cpu::Proc &proc() { return _proc; }
 
     /**
+     * This endpoint's event queue — the machine's only queue in a
+     * classic build, the node's cluster queue in a partitioned one.
+     * All driver events (engine, timers) run here.
+     */
+    sim::EventQueue &queue() { return _queue; }
+
+    /**
+     * Current tick on this endpoint's queue. Probes read measurement
+     * start/end times through this — *inside* completion callbacks,
+     * where it equals the event's tick on any kernel.
+     */
+    [[nodiscard]] Tick now() const { return _queue.now(); }
+
+    /**
      * Queue a message send. Payload words are copied out of this
      * node's memory at `srcAddr` (loads through the cache hierarchy).
      * `onDone` fires when the close command has entered the send FIFO
@@ -292,6 +306,7 @@ class PmComm : public Resettable, public sim::health::Reporter
     };
 
     System &_sys;
+    sim::EventQueue &_queue; //!< queueFor(_nodeId); all events go here.
     unsigned _nodeId;
     unsigned _net;
     DriverCosts _costs;

@@ -36,7 +36,7 @@ drainToIdle(System &sys, PmComm &x, PmComm &y)
 {
     while ((!x.quiescent() || !y.quiescent() ||
             !sys.fabric().wireQuiet()) &&
-           sys.queue().step()) {
+           sys.pump() != 0) {
     }
     sys.auditQuiescent("probe drain");
 }
@@ -53,27 +53,34 @@ measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
     PmComm commB(sys, b);
     const auto payload = makePayload(bytes, /*seed=*/bytes + 1);
 
-    // One warmup round trip, then `iters` timed ones.
+    // One warmup round trip, then `iters` timed ones. Timestamps are
+    // read *inside* A's completion callbacks (each endpoint's state is
+    // written only from its own queue's events — single-writer on any
+    // kernel), and A's clock alone defines the measured interval.
     unsigned remaining = iters + 1;
     Tick started = 0;
-    bool failed = false;
+    Tick finished = 0;
+    bool failedA = false;
+    bool failedB = false;
 
     std::function<void()> fireA = [&] {
         commA.postSend(b, payload);
         commA.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
             if (!crcOk || got != payload)
-                failed = true;
+                failedA = true;
             if (remaining == iters + 1)
-                started = sys.queue().now(); // warmup done
+                started = commA.now(); // warmup done
             if (--remaining > 0)
                 fireA();
+            else
+                finished = commA.now();
         });
     };
     // B echoes everything back.
     std::function<void()> armB = [&] {
         commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
             if (!crcOk)
-                failed = true;
+                failedB = true;
             commB.postSend(a, std::move(got));
             armB();
         });
@@ -81,13 +88,13 @@ measureOneWayLatencyUs(System &sys, unsigned a, unsigned b,
 
     armB();
     fireA();
-    while (remaining > 0 && sys.queue().step()) {
+    while (remaining > 0 && sys.pump() != 0) {
     }
-    if (failed || remaining != 0)
+    if (failedA || failedB || remaining != 0)
         pm_panic("ping-pong corrupted a payload or stalled (%u left)",
                  remaining);
 
-    const Tick total = sys.queue().now() - started;
+    const Tick total = finished - started;
     drainToIdle(sys, commA, commB);
     return ticksToUs(total) / (2.0 * iters);
 }
@@ -105,7 +112,11 @@ streamOneWay(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
     PmComm commB(sys, b);
     const auto payload = makePayload(bytes, bytes + 17);
 
-    const Tick started = sys.queue().now();
+    // Start on the machine clock (all queues equal after the reset);
+    // finish on the receiver's clock, read inside its last completion
+    // callback — the tick the classic step loop would stop at.
+    const Tick started = sys.simNow();
+    Tick finished = started;
     unsigned received = 0;
     bool failed = false;
     for (unsigned i = 0; i < count; ++i) {
@@ -113,15 +124,16 @@ streamOneWay(System &sys, unsigned a, unsigned b, std::uint64_t bytes,
         commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
             if (!crcOk || got != payload)
                 failed = true;
-            ++received;
+            if (++received == count)
+                finished = commB.now();
         });
     }
-    while (received < count && sys.queue().step()) {
+    while (received < count && sys.pump() != 0) {
     }
     if (failed || received != count)
         pm_panic("one-way stream lost or corrupted messages (%u/%u)",
                  received, count);
-    const Tick total = sys.queue().now() - started;
+    const Tick total = finished - started;
     drainToIdle(sys, commA, commB);
     return total;
 }
@@ -156,31 +168,42 @@ measureBidirectionalMBps(System &sys, unsigned a, unsigned b,
     const auto payloadA = makePayload(bytes, bytes + 29);
     const auto payloadB = makePayload(bytes, bytes + 31);
 
-    const Tick started = sys.queue().now();
-    unsigned received = 0;
-    bool failed = false;
+    // Per-endpoint counters and finish ticks: each is written only
+    // from its own queue's events, and the later finisher defines the
+    // interval — exactly the tick the classic step loop stopped at.
+    const Tick started = sys.simNow();
+    Tick finishedA = started;
+    Tick finishedB = started;
+    unsigned receivedA = 0;
+    unsigned receivedB = 0;
+    bool failedA = false;
+    bool failedB = false;
     for (unsigned i = 0; i < count; ++i) {
         commA.postSend(b, payloadA);
         commB.postSend(a, payloadB);
         commA.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
             if (!crcOk || got != payloadB)
-                failed = true;
-            ++received;
+                failedA = true;
+            if (++receivedA == count)
+                finishedA = commA.now();
         });
         commB.postRecv([&](std::vector<std::uint64_t> got, bool crcOk) {
             if (!crcOk || got != payloadA)
-                failed = true;
-            ++received;
+                failedB = true;
+            if (++receivedB == count)
+                finishedB = commB.now();
         });
     }
-    while (received < 2 * count && sys.queue().step()) {
+    while (receivedA + receivedB < 2 * count && sys.pump() != 0) {
     }
-    if (failed || received != 2 * count)
+    if (failedA || failedB || receivedA + receivedB != 2 * count)
         pm_panic("bidirectional stream lost or corrupted messages "
                  "(%u/%u)",
-                 received, 2 * count);
+                 receivedA + receivedB, 2 * count);
 
-    const double us = ticksToUs(sys.queue().now() - started);
+    const Tick finished =
+        finishedA > finishedB ? finishedA : finishedB;
+    const double us = ticksToUs(finished - started);
     drainToIdle(sys, commA, commB);
     return us > 0.0 ? (2.0 * double(bytes) * count) / us : 0.0;
 }
@@ -230,12 +253,12 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
         });
     };
 
-    const Tick started = sys.queue().now();
+    const Tick started = sys.simNow();
     armRecv();
     for (unsigned i = 0; i < window && i < count; ++i)
         postNext();
     while (res.delivered < count && !res.senderDead &&
-           !res.receiverDead && sys.queue().step()) {
+           !res.receiverDead && sys.pump() != 0) {
     }
     if (!res.senderDead && !res.receiverDead) {
         // Let in-flight ACKs and timers drain so both endpoints go
@@ -246,11 +269,11 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
         // quiet-machine audit) and report what happened instead.
         while ((!commA.idle() || !commB.idle() ||
                 !sys.fabric().wireQuiet()) &&
-               sys.queue().step()) {
+               sys.pump() != 0) {
         }
         sys.auditQuiescent("soak drain");
     }
-    res.elapsedUs = ticksToUs(sys.queue().now() - started);
+    res.elapsedUs = ticksToUs(sys.simNow() - started);
     if (res.delivered != count)
         res.intact = false;
 

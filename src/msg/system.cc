@@ -6,14 +6,24 @@
 namespace pm::msg {
 
 System::System(const SystemParams &params)
-    : _p(params)
+    : _p(params),
+      _kernel(params.kernelThreads != 0
+                  ? net::Fabric::domainsFor(params.fabric)
+                  : 1,
+              params.kernelThreads != 0 ? params.kernelThreads : 1),
+      _health(_kernel.queue(0), _ctx)
 {
+    if (partitioned() && _p.fabric.fault != nullptr)
+        pm_fatal("system: fault injection is incompatible with the "
+                 "partitioned kernel (fault-model counters are shared "
+                 "across clusters); use kernelThreads = 0");
     // Quiet machines build quiet: the inform() gate carries over from
     // whatever context the constructing code runs under (a bench that
     // silenced inform, a sweep worker's options).
     _ctx.setInformEnabled(sim::Context::current().informEnabled());
     sim::Context::Scope scope(_ctx);
-    _fabric = std::make_unique<net::Fabric>(_p.fabric, _queue);
+    _kernel.setContext(&_ctx);
+    _fabric = std::make_unique<net::Fabric>(_p.fabric, _kernel);
     _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
         node::NodeParams np = _p.node;
@@ -30,7 +40,7 @@ System::resetForRun()
     for (auto &n : _nodes) {
         n->reset();
         for (unsigned c = 0; c < n->numCpus(); ++c)
-            n->proc(c).advanceTo(_queue.now());
+            n->proc(c).advanceTo(simNow());
     }
     for (Resettable *r : _resettables)
         r->resetForRun();

@@ -16,6 +16,7 @@
 #include "sim/context.hh"
 #include "sim/event.hh"
 #include "sim/health.hh"
+#include "sim/partition.hh"
 
 namespace pm::msg {
 
@@ -24,6 +25,21 @@ struct SystemParams
 {
     node::NodeParams node; //!< Per-node configuration (all identical).
     net::FabricParams fabric; //!< Interconnect topology.
+
+    /**
+     * 0 (default): the classic single-queue kernel — one EventQueue
+     * drives the whole machine, stepped directly by callers.
+     * >= 1: the partitioned conservative-parallel kernel with this
+     * many worker threads: each cluster advances on its own event
+     * queue (plus a hub partition for the second crossbar level),
+     * synchronized in lookahead windows. Byte-identical results for
+     * any thread count, including 1. A single-cluster fabric needs
+     * only one partition and so behaves classically either way.
+     * Incompatible with fault injection (shared fault-model counters)
+     * and with the collective/EARTH layers (cross-node shared state);
+     * those combinations are rejected at construction.
+     */
+    unsigned kernelThreads = 0;
 };
 
 /**
@@ -50,7 +66,54 @@ class System
     System &operator=(const System &) = delete;
 
     const SystemParams &params() const { return _p; }
-    sim::EventQueue &queue() { return _queue; }
+
+    /**
+     * The machine's primary event queue: the only queue of a classic
+     * build, partition 0's (cluster 0's) queue of a partitioned one.
+     * Code that steps this directly drives the whole machine only in
+     * the classic build — partition-agnostic callers should advance
+     * the machine with pump() and read time with simNow().
+     */
+    sim::EventQueue &queue() { return _kernel.queue(0); }
+
+    /** The event kernel (one partition in the classic build). */
+    sim::Partitioned &kernel() { return _kernel; }
+
+    /** True when the machine runs on more than one event queue. */
+    [[nodiscard]] bool partitioned() const
+    {
+        return _kernel.partitions() > 1;
+    }
+
+    /** The event queue `nodeId`'s components (NI, driver) run on. */
+    sim::EventQueue &
+    queueFor(unsigned nodeId)
+    {
+        return partitioned()
+                   ? _kernel.queue(_fabric->clusterOf(nodeId))
+                   : _kernel.queue(0);
+    }
+
+    /**
+     * Advance the machine: one event of the classic queue, or one
+     * synchronization window of the partitioned kernel.
+     * @return Events executed; 0 means nothing is pending.
+     */
+    std::uint64_t
+    pump()
+    {
+        if (!partitioned())
+            return _kernel.queue(0).step() ? 1 : 0;
+        return _kernel.runWindow();
+    }
+
+    /**
+     * The machine's notion of "now" for elapsed-time reporting: the
+     * most advanced partition clock. Identical to queue().now() in a
+     * classic build.
+     */
+    [[nodiscard]] Tick simNow() const { return _kernel.maxNow(); }
+
     net::Fabric &fabric() { return *_fabric; }
     unsigned numNodes() const { return _fabric->numNodes(); }
     node::Node &node(unsigned i) { return *_nodes.at(i); }
@@ -104,8 +167,8 @@ class System
   private:
     SystemParams _p;
     sim::Context _ctx;
-    sim::EventQueue _queue;
-    sim::health::Monitor _health{_queue, _ctx};
+    sim::Partitioned _kernel;
+    sim::health::Monitor _health;
     std::unique_ptr<net::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;

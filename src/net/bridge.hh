@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-partition link boundary for the partitioned kernel.
+ *
+ * When the fabric is built over a sim::Partitioned kernel, the two
+ * transceiver link directions between a cluster and the second
+ * crossbar level cross partition boundaries. The sender's LinkTx must
+ * not touch the remote InputFifo mid-window: reading its occupancy
+ * would race with the thread executing the remote partition, and
+ * scheduling a delivery on the remote queue directly is forbidden by
+ * the kernel contract. A PartitionBridge stands in for the remote
+ * FIFO on the sender's side:
+ *
+ *  - As the LinkTx's SymbolSink it answers flow control from a local
+ *    *credit* count — a conservative snapshot of the remote FIFO's
+ *    free space taken at the last window barrier, minus deliveries
+ *    still outstanding. The sender can never overrun the remote FIFO:
+ *    credit only shrinks between barriers, and every symbol sent
+ *    decrements it. (Each InputFifo has exactly one upstream link, so
+ *    nobody else competes for that space.)
+ *
+ *  - As the LinkTx's RemoteCourier it forwards each (arrival, symbol)
+ *    pair through the kernel's mailboxes; at the barrier merge the
+ *    delivery becomes an ordinary event on the remote queue that
+ *    pushes into the real FIFO. Arrival ticks carry the full
+ *    transceiver boundary delay, which is at least the kernel
+ *    lookahead — the post() barrier assertion enforces exactly this.
+ *
+ *  - As a Partitioned::BarrierHook it refreshes the credit from the
+ *    then-quiescent remote FIFO and, when credit reappears, wakes
+ *    senders that parked on onSpace() — with an event on the *source*
+ *    queue at the next window's first tick, mirroring how InputFifo
+ *    wakes throttled senders in the same partition.
+ *
+ * Determinism: credit refresh happens at the barrier, on the driving
+ * thread, from state that is identical for any worker-thread count;
+ * wake events land at a tick derived from the window schedule alone.
+ */
+
+#ifndef PM_NET_BRIDGE_HH
+#define PM_NET_BRIDGE_HH
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fifo.hh"
+#include "net/link.hh"
+#include "sim/logging.hh"
+#include "sim/partition.hh"
+
+namespace pm::net {
+
+/** Sender-side stand-in for a remote partition's InputFifo. */
+class PartitionBridge final : public SymbolSink,
+                              public RemoteCourier,
+                              public sim::Partitioned::BarrierHook
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param kernel The partitioned kernel both endpoints live in.
+     * @param srcPartition Partition of the sending LinkTx.
+     * @param dstPartition Partition of the remote FIFO.
+     * @param remote The real destination sink (remote partition).
+     */
+    PartitionBridge(std::string name, sim::Partitioned &kernel,
+                    unsigned srcPartition, unsigned dstPartition,
+                    SymbolSink *remote)
+        : _name(std::move(name)),
+          _kernel(kernel),
+          _src(srcPartition),
+          _dst(dstPartition),
+          _remote(remote)
+    {
+        if (remote == nullptr)
+            pm_fatal("bridge %s: null remote sink", _name.c_str());
+        // Before the first barrier the remote FIFO is empty and idle.
+        _credit = static_cast<int>(remote->freeSpace());
+        _kernel.addBarrierHook(this);
+    }
+
+    const std::string &name() const { return _name; }
+
+    /** @name SymbolSink (sender-side flow control against credit) */
+    /// @{
+    [[nodiscard]] bool hasSpace() const override { return _credit > 0; }
+
+    [[nodiscard]] unsigned
+    freeSpace() const override
+    {
+        return _credit > 0 ? static_cast<unsigned>(_credit) : 0;
+    }
+
+    void
+    push(const Symbol &sym, Tick now) override
+    {
+        (void)sym;
+        (void)now;
+        pm_panic("bridge %s: direct push (the LinkTx courier must carry "
+                 "cross-partition symbols)",
+                 _name.c_str());
+    }
+
+    void
+    onSpace(sim::EventFn cb) override
+    {
+        _waiters.push_back(std::move(cb));
+    }
+    /// @}
+
+    /** @name RemoteCourier (called from LinkTx::send, source thread) */
+    /// @{
+    void
+    deliverAt(Tick when, const Symbol &sym) override
+    {
+        pm_assert(_credit > 0, "bridge %s: send without credit",
+                  _name.c_str());
+        --_credit;
+        _outstanding.fetch_add(1, std::memory_order_relaxed);
+        const unsigned gen = _gen;
+        // 36-byte capture: stays within EventFn's inline buffer.
+        _kernel.post(_src, _dst, when, [this, sym, when, gen] {
+            if (gen != _gen)
+                return; // the fabric was reset while this was in
+                        // flight; reset() already zeroed _outstanding
+            _outstanding.fetch_sub(1, std::memory_order_relaxed);
+            _remote->push(sym, when);
+        });
+    }
+    /// @}
+
+    /** @name Partitioned::BarrierHook (driving thread, quiescent) */
+    /// @{
+    void
+    atBarrier(Tick wakeTick) override
+    {
+        // All lanes joined the barrier: reading the remote FIFO is
+        // safe, and subtracting deliveries already posted (but not
+        // yet executed on the remote queue) keeps the credit
+        // conservative.
+        _credit = static_cast<int>(_remote->freeSpace()) -
+                  static_cast<int>(
+                      _outstanding.load(std::memory_order_relaxed));
+        if (_credit <= 0 || _waiters.empty())
+            return;
+        if (_wakeScheduled)
+            return;
+        _wakeScheduled = true;
+        (void)_kernel.queue(_src).schedule(wakeTick, [this] {
+            _wakeScheduled = false;
+            std::vector<sim::EventFn> cbs;
+            cbs.swap(_waiters);
+            for (auto &cb : cbs)
+                cb();
+        });
+    }
+    /// @}
+
+    /** Nothing posted but not yet delivered (wire-quiescence checks). */
+    [[nodiscard]] bool
+    quiet() const
+    {
+        return _outstanding.load(std::memory_order_relaxed) == 0;
+    }
+
+    /**
+     * Forget run state between experiments. Posted deliveries already
+     * merged into the remote queue cannot be cancelled; the generation
+     * bump makes them vanish on execution, exactly like LinkTx's own
+     * in-flight voiding. Must run with the kernel quiescent, after the
+     * remote FIFO was cleared.
+     */
+    void
+    reset()
+    {
+        ++_gen;
+        _outstanding.store(0, std::memory_order_relaxed);
+        _credit = static_cast<int>(_remote->freeSpace());
+        _waiters.clear();
+        _wakeScheduled = false;
+    }
+
+  private:
+    std::string _name;
+    sim::Partitioned &_kernel;
+    unsigned _src;
+    unsigned _dst;
+    SymbolSink *_remote;
+    int _credit = 0;
+    std::atomic<unsigned> _outstanding{0};
+    unsigned _gen = 0; //!< Bumped by reset() to void posted symbols.
+    bool _wakeScheduled = false;
+    std::vector<sim::EventFn> _waiters;
+};
+
+} // namespace pm::net
+
+#endif // PM_NET_BRIDGE_HH

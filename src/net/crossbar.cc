@@ -69,12 +69,7 @@ Crossbar::reset()
 {
     for (unsigned i = 0; i < _p.ports; ++i) {
         Input &in = _in[i];
-        // clear() drops the persistent fill callback with the contents.
         in.fifo->clear();
-        in.fifo->setFillCallback([this, i] {
-            _in[i].lastMove = _queue.now();
-            schedulePump(i);
-        });
         in.target = -1;
         in.waiting = false;
         _queue.cancel(in.pumpEvent);

@@ -133,18 +133,20 @@ class InputFifo : public SymbolSink
     }
 
     /**
-     * Drop all contents *and* all registered callbacks (reset between
-     * runs). Deliberately does NOT fire the space callbacks: waking a
-     * throttled sender into a torn-down configuration re-enters
-     * elements mid-reset with stale state. Owners that rely on the
-     * persistent fill callback must re-register it after clear().
+     * Drop all contents and all one-shot space callbacks (reset
+     * between runs). Deliberately does NOT fire the space callbacks:
+     * waking a throttled sender into a torn-down configuration
+     * re-enters elements mid-reset with stale state. The persistent
+     * fill callback survives — it is part of the FIFO's wiring, not
+     * of a run's state, and dropping it here used to force every
+     * owner to remember to re-register after reset (the ones that
+     * forgot received symbols into a deaf FIFO on the next run).
      */
     void
     clear()
     {
         _q.clear();
         _spaceCbs.clear();
-        _fillCb.reset();
     }
 
     /** One-line forensic snapshot: occupancy, watermark, head symbol. */

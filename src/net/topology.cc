@@ -8,6 +8,33 @@ Fabric::Fabric(const FabricParams &params, sim::EventQueue &queue)
     : _p(params),
       _queue(queue)
 {
+    build();
+}
+
+Fabric::Fabric(const FabricParams &params, sim::Partitioned &kernel)
+    : _p(params),
+      _queue(kernel.queue(0)),
+      _kernel(kernel.partitions() > 1 ? &kernel : nullptr)
+{
+    if (_kernel != nullptr && kernel.partitions() != domainsFor(params))
+        pm_fatal("fabric: kernel has %u partitions, topology needs %u",
+                 kernel.partitions(), domainsFor(params));
+    if (_kernel != nullptr) {
+        // The earliest cross-partition effect of a symbol sent at
+        // tick t over a boundary (always a transceiver output link)
+        // is its arrival at t + wire time of the shortest symbol +
+        // link latency + cable latency.
+        _lookahead = _p.xcvr.link.txTime(1) + _p.xcvr.link.latency +
+                     _p.xcvr.cableLatency;
+    }
+    build();
+    if (_kernel != nullptr)
+        _kernel->setLookahead(_lookahead);
+}
+
+void
+Fabric::build()
+{
     if (_p.clusters == 0 || _p.nodesPerCluster == 0 || _p.networks == 0)
         pm_fatal("fabric: empty topology");
     if (_p.nodesPerCluster + _p.uplinksPerCluster > _p.xbar.ports)
@@ -25,6 +52,18 @@ Fabric::Fabric(const FabricParams &params, sim::EventQueue &queue)
         buildNetwork(n);
 }
 
+sim::EventQueue &
+Fabric::clusterQueue(unsigned c)
+{
+    return _kernel != nullptr ? _kernel->queue(c) : _queue;
+}
+
+sim::EventQueue &
+Fabric::hubQueue()
+{
+    return _kernel != nullptr ? _kernel->queue(_p.clusters) : _queue;
+}
+
 void
 Fabric::buildNetwork(unsigned n)
 {
@@ -37,14 +76,15 @@ Fabric::buildNetwork(unsigned n)
         xp.name = "xbar.c" + std::to_string(c) + tag;
         xp.link.fault = _p.fault;
         net.clusterXbars.push_back(
-            std::make_unique<Crossbar>(xp, _queue));
+            std::make_unique<Crossbar>(xp, clusterQueue(c)));
     }
     for (unsigned node = 0; node < numNodes(); ++node) {
         ni::LinkIfParams np = _p.ni;
         np.name = "ni.n" + std::to_string(node) + tag;
         np.link = _p.nodeLink;
         np.link.fault = _p.fault;
-        net.nis.push_back(std::make_unique<ni::LinkInterface>(np, _queue));
+        net.nis.push_back(std::make_unique<ni::LinkInterface>(
+            np, clusterQueue(clusterOf(node))));
 
         Crossbar &xb = *net.clusterXbars[clusterOf(node)];
         const unsigned local = localIndex(node);
@@ -60,7 +100,7 @@ Fabric::buildNetwork(unsigned n)
         CrossbarParams xp = _p.xbar;
         xp.name = "xbar.l2u" + std::to_string(u) + tag;
         xp.link.fault = _p.fault;
-        net.l2Xbars.push_back(std::make_unique<Crossbar>(xp, _queue));
+        net.l2Xbars.push_back(std::make_unique<Crossbar>(xp, hubQueue()));
     }
     for (unsigned c = 0; c < _p.clusters; ++c) {
         Crossbar &cx = *net.clusterXbars[c];
@@ -73,20 +113,38 @@ Fabric::buildNetwork(unsigned n)
             tp.name = "xcvr.up.c" + std::to_string(c) + ".u" +
                       std::to_string(u) + tag;
             net.xcvrs.push_back(
-                std::make_unique<Transceiver>(tp, _queue));
+                std::make_unique<Transceiver>(tp, clusterQueue(c)));
             Transceiver &up = *net.xcvrs.back();
             cx.connectOutput(upPort, up.inputPort());
-            up.connectOutput(l2.inputPort(c));
+            connectBoundary(net, up, tp.name, c, _p.clusters,
+                            l2.inputPort(c));
 
             tp.name = "xcvr.down.c" + std::to_string(c) + ".u" +
                       std::to_string(u) + tag;
             net.xcvrs.push_back(
-                std::make_unique<Transceiver>(tp, _queue));
+                std::make_unique<Transceiver>(tp, hubQueue()));
             Transceiver &down = *net.xcvrs.back();
             l2.connectOutput(c, down.inputPort());
-            down.connectOutput(cx.inputPort(upPort));
+            connectBoundary(net, down, tp.name, _p.clusters, c,
+                            cx.inputPort(upPort));
         }
     }
+}
+
+void
+Fabric::connectBoundary(Network &net, Transceiver &xcvr,
+                        const std::string &name, unsigned srcPartition,
+                        unsigned dstPartition, SymbolSink *remote)
+{
+    if (_kernel == nullptr) {
+        xcvr.connectOutput(remote);
+        return;
+    }
+    net.bridges.push_back(std::make_unique<PartitionBridge>(
+        name + ".bridge", *_kernel, srcPartition, dstPartition, remote));
+    PartitionBridge &bridge = *net.bridges.back();
+    xcvr.connectOutput(&bridge);
+    xcvr.outputLink()->setCourier(&bridge);
 }
 
 ni::LinkInterface &
@@ -172,6 +230,9 @@ Fabric::wireQuiet() const
         for (const auto &xcvr : net.xcvrs)
             if (!xcvr->wireQuiet())
                 return false;
+        for (const auto &bridge : net.bridges)
+            if (!bridge->quiet())
+                return false;
     }
     return true;
 }
@@ -188,6 +249,10 @@ Fabric::reset()
             xbar->reset();
         for (auto &xcvr : net.xcvrs)
             xcvr->reset();
+        // Last: bridge credit re-snapshots the (just cleared) remote
+        // FIFOs.
+        for (auto &bridge : net.bridges)
+            bridge->reset();
     }
 }
 

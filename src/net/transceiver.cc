@@ -43,12 +43,7 @@ Transceiver::connectOutput(SymbolSink *downstream)
 void
 Transceiver::reset()
 {
-    // clear() drops the persistent fill callback with the contents.
     _in.clear();
-    _in.setFillCallback([this] {
-        _lastMove = _queue.now();
-        schedulePump();
-    });
     _queue.cancel(_pumpEvent);
     _pumpAt = 0;
     _lastMove = _queue.now();

@@ -123,7 +123,12 @@ Context::current()
 
 Context::Scope::Scope(Context &ctx) : _prev(tlsCurrent)
 {
-    ctx.assertOwner("Scope bind");
+    // Binding is deliberately NOT owner-asserted: it only swaps this
+    // thread's current() pointer, mutating nothing inside the context.
+    // The partitioned kernel's worker lanes rely on this to bind the
+    // owning System's context while executing its windows, so a panic
+    // on any lane resolves that System's tick and forensic hooks. All
+    // context *mutations* (hooks, inform gate) stay owner-asserted.
     tlsCurrent = &ctx;
 }
 

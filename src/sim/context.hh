@@ -118,7 +118,13 @@ class Context
      */
     static Context &current();
 
-    /** RAII binding of a context as the calling thread's current(). */
+    /**
+     * RAII binding of a context as the calling thread's current().
+     * Binding is legal from any thread (it swaps a thread-local
+     * pointer and mutates nothing in the context itself); the
+     * partitioned kernel's worker lanes bind their owning System's
+     * context this way. Mutations remain single-writer.
+     */
     class Scope
     {
       public:

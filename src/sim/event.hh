@@ -38,10 +38,11 @@ namespace pm::sim {
  * A move-only callable of signature void() with a small-buffer
  * optimization sized for the simulator's component lambdas.
  *
- * Captures up to kInlineBytes (with at most max_align_t alignment and a
- * noexcept move constructor) are stored inline; anything larger falls
- * back to a single heap allocation. Unlike std::function it is
- * move-only, so callables holding move-only state schedule fine.
+ * Captures up to kInlineBytes (with at most kInlineAlign — pointer —
+ * alignment and a noexcept move constructor) are stored inline;
+ * anything larger or more aligned falls back to a single heap
+ * allocation. Unlike std::function it is move-only, so callables
+ * holding move-only state schedule fine.
  */
 class EventFn
 {
@@ -304,6 +305,15 @@ class EventQueue
      * @return true if an event was executed.
      */
     bool step(Tick limit = kTickNever);
+
+    /**
+     * The tick of the earliest pending event, or kTickNever when the
+     * queue is empty. Non-const because cancellation tombstones
+     * surfacing at the top of the heap are drained (which never
+     * advances now() or runs anything). The partitioned kernel uses
+     * this to compute each synchronization window.
+     */
+    [[nodiscard]] Tick nextPendingTick();
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return _executed; }

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Strict command-line number parsing shared by pmsim and the benches.
+ *
+ * The C strto* family silently returns 0 (or a prefix value) for
+ * garbage, so `--jobs garbage` used to mean "jobs 0 = hardware
+ * concurrency" and `--sweep bytes=8:64:2x` dropped the junk 'x'
+ * without a word. These helpers accept a value only when the *entire*
+ * string parses: no empty strings, no leading whitespace or signs on
+ * unsigned values, no trailing junk, no out-of-range values. Callers
+ * turn a false return into a usage error naming the flag.
+ */
+
+#ifndef PM_SIM_PARSE_HH
+#define PM_SIM_PARSE_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pm::sim::parse {
+
+/** Strict unsigned 64-bit parse (base 10, or 0x-prefixed hex). */
+[[nodiscard]] inline bool
+u64(const char *s, std::uint64_t &out)
+{
+    if (s == nullptr || *s == '\0' ||
+        !std::isdigit(static_cast<unsigned char>(*s)))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (errno == ERANGE || end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** Strict unsigned 32-bit parse; rejects values beyond unsigned. */
+[[nodiscard]] inline bool
+u32(const char *s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!u64(s, v) || v > std::numeric_limits<unsigned>::max())
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+/** Strict finite double parse (scientific notation allowed). */
+[[nodiscard]] inline bool
+f64(const char *s, double &out)
+{
+    if (s == nullptr || *s == '\0' ||
+        std::isspace(static_cast<unsigned char>(*s)))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE || end == s || *end != '\0' || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+/** A parsed `<axis>=<lo>:<hi>:<step>` sweep specification. */
+struct AxisSpec
+{
+    std::string axis;
+    std::vector<double> values;
+};
+
+/**
+ * Parse and expand a sweep axis spec: `<axis>=<lo>:<hi>:<step>`
+ * (additive) or `<axis>=<lo>:<hi>:*<factor>` (geometric). Rejects —
+ * with a diagnostic in `err` — malformed shapes, non-numeric or
+ * trailing-junk fields, a geometric factor <= 1 (or lo <= 0), an
+ * additive step <= 0, an empty range (hi < lo), and expansions beyond
+ * 100000 points. On success `out.values` is the full point list, with
+ * an epsilon on the upper bound so `bytes=8:64:*2` ends at 64.
+ */
+[[nodiscard]] inline bool
+axisSpec(const std::string &spec, AxisSpec &out, std::string &err)
+{
+    const auto eq = spec.find('=');
+    const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq);
+    const auto c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+    if (eq == std::string::npos || c1 == std::string::npos ||
+        c2 == std::string::npos) {
+        err = "expected <axis>=<lo>:<hi>:<step> (or :*<factor>), got '" +
+              spec + "'";
+        return false;
+    }
+    out.axis = spec.substr(0, eq);
+    if (out.axis.empty()) {
+        err = "empty axis name in '" + spec + "'";
+        return false;
+    }
+    const std::string loStr = spec.substr(eq + 1, c1 - eq - 1);
+    const std::string hiStr = spec.substr(c1 + 1, c2 - c1 - 1);
+    const bool geometric = c2 + 1 < spec.size() && spec[c2 + 1] == '*';
+    const std::string stepStr = spec.substr(c2 + 1 + (geometric ? 1 : 0));
+    double lo = 0.0;
+    double hi = 0.0;
+    double step = 0.0;
+    if (!f64(loStr.c_str(), lo) || !f64(hiStr.c_str(), hi) ||
+        !f64(stepStr.c_str(), step)) {
+        err = "non-numeric bound or step in '" + spec + "'";
+        return false;
+    }
+    if (geometric ? (step <= 1.0 || lo <= 0.0) : step <= 0.0) {
+        err = std::string("step must be ") +
+              (geometric ? "a factor > 1 with lo > 0" : "> 0") +
+              " in '" + spec + "'";
+        return false;
+    }
+    if (hi < lo) {
+        err = "range is empty (hi < lo) in '" + spec + "'";
+        return false;
+    }
+    out.values.clear();
+    for (double v = lo; v <= hi * (1.0 + 1e-9);
+         v = geometric ? v * step : v + step) {
+        out.values.push_back(v);
+        if (out.values.size() > 100000) {
+            err = "would generate >100000 points: '" + spec + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace pm::sim::parse
+
+#endif // PM_SIM_PARSE_HH

@@ -1,0 +1,251 @@
+#include "sim/partition.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sim/context.hh"
+#include "sim/logging.hh"
+
+namespace pm::sim {
+
+/**
+ * Worker-thread pool for window execution. Lane 0 is the driving
+ * thread; lanes 1..L-1 are dedicated workers. Partition p always runs
+ * on lane p mod L, so a partition's queue is touched by exactly one
+ * thread per window, and the barrier (mutex + condition variables)
+ * provides the happens-before edges between a window's lane work and
+ * the driver's merge/scan in both directions.
+ */
+struct Partitioned::Pool
+{
+    Partitioned &owner;
+    const unsigned lanes;
+
+    std::mutex m;
+    std::condition_variable start;
+    std::condition_variable done;
+    std::uint64_t gen = 0; //!< Bumped per window; workers wait on it.
+    unsigned running = 0; //!< Lanes still executing this window.
+    Tick runTo = 0;
+    bool stop = false;
+    std::vector<std::uint64_t> laneExecuted;
+    std::vector<std::thread> threads;
+
+    Pool(Partitioned &o, unsigned laneCount)
+        : owner(o), lanes(laneCount), laneExecuted(laneCount, 0)
+    {
+        threads.reserve(lanes - 1);
+        for (unsigned lane = 1; lane < lanes; ++lane)
+            threads.emplace_back([this, lane] { workerMain(lane); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m);
+            stop = true;
+        }
+        start.notify_all();
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    /** Run this lane's partitions up to `to` inclusive. */
+    std::uint64_t
+    laneRun(unsigned lane, Tick to)
+    {
+        std::uint64_t n = 0;
+        const unsigned parts = owner.partitions();
+        for (unsigned p = lane; p < parts; p += lanes)
+            n += owner._queues[p]->run(to);
+        return n;
+    }
+
+    void
+    workerMain(unsigned lane)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            Tick to;
+            {
+                std::unique_lock<std::mutex> lk(m);
+                start.wait(lk, [&] { return stop || gen != seen; });
+                if (stop)
+                    return;
+                seen = gen;
+                to = runTo;
+            }
+            std::uint64_t n;
+            if (owner._ctx != nullptr) {
+                // A panic on this lane must resolve the owning
+                // simulation's forensics, not this thread's default
+                // context (see Context::Scope).
+                Context::Scope scope(*owner._ctx);
+                n = laneRun(lane, to);
+            } else {
+                n = laneRun(lane, to);
+            }
+            {
+                std::lock_guard<std::mutex> lk(m);
+                laneExecuted[lane] = n;
+                if (--running == 0)
+                    done.notify_one();
+            }
+        }
+    }
+
+    /** Execute one window across all lanes; driver drives lane 0. */
+    std::uint64_t
+    execute(Tick to)
+    {
+        {
+            std::lock_guard<std::mutex> lk(m);
+            runTo = to;
+            ++gen;
+            running = lanes;
+        }
+        start.notify_all();
+        const std::uint64_t n0 = laneRun(0, to);
+        std::unique_lock<std::mutex> lk(m);
+        laneExecuted[0] = n0;
+        if (--running > 0)
+            done.wait(lk, [&] { return running == 0; });
+        std::uint64_t total = 0;
+        for (std::uint64_t n : laneExecuted)
+            total += n;
+        return total;
+    }
+};
+
+Partitioned::Partitioned(unsigned partitions, unsigned threads)
+    : _threads(threads == 0 ? 1 : threads)
+{
+    if (partitions == 0)
+        pm_fatal("partitioned kernel: need at least one partition");
+    _queues.reserve(partitions);
+    for (unsigned p = 0; p < partitions; ++p)
+        _queues.push_back(std::make_unique<EventQueue>());
+    _boxes.resize(static_cast<std::size_t>(partitions) * partitions);
+}
+
+Partitioned::~Partitioned() = default;
+
+void
+Partitioned::post(unsigned src, unsigned dst, Tick when, EventFn fn)
+{
+    pm_assert(src < partitions() && dst < partitions(),
+              "cross-partition post %u -> %u out of range", src, dst);
+    pm_assert(when >= _windowBarrier,
+              "cross-partition post %u -> %u at tick %llu violates the "
+              "window barrier %llu (lookahead too large for the real "
+              "boundary delay)",
+              src, dst, (unsigned long long)when,
+              (unsigned long long)_windowBarrier);
+    _boxes[static_cast<std::size_t>(src) * partitions() + dst].push_back(
+        Mail{when, std::move(fn)});
+}
+
+std::uint64_t
+Partitioned::runLanes(Tick runTo)
+{
+    const unsigned parts = partitions();
+    const unsigned lanes = _threads < parts ? _threads : parts;
+    if (lanes <= 1) {
+        // Serial reference execution: identical per-partition event
+        // sequences to the threaded path (partitions are independent
+        // within a window), on the driving thread.
+        std::uint64_t n = 0;
+        for (auto &q : _queues)
+            n += q->run(runTo);
+        return n;
+    }
+    if (!_pool)
+        _pool = std::make_unique<Pool>(*this, lanes);
+    return _pool->execute(runTo);
+}
+
+void
+Partitioned::mergeMailboxes(Tick wakeTick)
+{
+    const unsigned parts = partitions();
+    for (unsigned dst = 0; dst < parts; ++dst) {
+        _merge.clear();
+        for (unsigned src = 0; src < parts; ++src) {
+            const auto &box =
+                _boxes[static_cast<std::size_t>(src) * parts + dst];
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(box.size()); ++i)
+                _merge.push_back(MergeKey{box[i].when, src, i});
+        }
+        if (_merge.empty())
+            continue;
+        // Total order (when, src, append index): independent of lane
+        // count and execution interleaving. The destination queue's
+        // monotonic sequence number then pins the tie-break for good.
+        std::sort(_merge.begin(), _merge.end(),
+                  [](const MergeKey &a, const MergeKey &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.idx < b.idx;
+                  });
+        for (const MergeKey &k : _merge) {
+            auto &box =
+                _boxes[static_cast<std::size_t>(k.src) * parts + dst];
+            pm_assert(k.when >= wakeTick,
+                      "merged event at tick %llu is before the next "
+                      "window (%llu)",
+                      (unsigned long long)k.when,
+                      (unsigned long long)wakeTick);
+            // Fire-and-forget by design: mailbox events model wire
+            // deliveries; receivers void stale ones via generations.
+            (void)_queues[dst]->schedule(k.when,
+                                         std::move(box[k.idx].fn));
+            ++_crossPosts;
+        }
+        for (unsigned src = 0; src < parts; ++src)
+            _boxes[static_cast<std::size_t>(src) * parts + dst].clear();
+    }
+}
+
+std::uint64_t
+Partitioned::runWindow(Tick limit)
+{
+    Tick nextT = kTickNever;
+    for (auto &q : _queues) {
+        const Tick t = q->nextPendingTick();
+        if (t < nextT)
+            nextT = t;
+    }
+    if (nextT == kTickNever || nextT > limit)
+        return 0;
+
+    // The horizon is exclusive: events strictly before it cannot be
+    // affected by any cross-partition traffic generated this window
+    // (which arrives no earlier than nextT + lookahead).
+    Tick horizon = kTickNever;
+    if (_lookahead != kTickNever) {
+        pm_assert(_lookahead > 0,
+                  "cross-partition lookahead must be positive");
+        horizon = nextT >= kTickNever - _lookahead ? kTickNever
+                                                   : nextT + _lookahead;
+    }
+    Tick runTo = limit;
+    if (horizon != kTickNever && horizon - 1 < runTo)
+        runTo = horizon - 1;
+    _windowBarrier = runTo == kTickNever ? kTickNever : runTo + 1;
+
+    // nextT <= runTo, so at least one event always executes: run()
+    // makes monotonic progress and cannot livelock.
+    const std::uint64_t executed = runLanes(runTo);
+    ++_windows;
+    mergeMailboxes(_windowBarrier);
+    for (BarrierHook *h : _hooks)
+        h->atBarrier(_windowBarrier);
+    return executed;
+}
+
+} // namespace pm::sim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The partitioned conservative-parallel event kernel.
+ *
+ * A Partitioned kernel owns N independent EventQueue domains and
+ * advances them in *windows*: each window starts at the global
+ * minimum next-event tick, extends for the cross-partition lookahead
+ * (the minimum delay any event in one partition needs to affect
+ * another — derived by net::Fabric from its transceiver cable + link
+ * delays), and runs every partition's events inside the window with
+ * no synchronization at all. Cross-partition communication is not
+ * allowed to touch a foreign queue mid-window; it goes through
+ * bounded per-(src,dst) mailboxes via post() and is merged into the
+ * destination queues at the window barrier.
+ *
+ * This is the classic windowed (bounded-lag) variant of conservative
+ * parallel discrete-event simulation (Chandy–Misra–Bryant): the
+ * lookahead guarantees every mailbox entry's `when` lies at or beyond
+ * the window horizon, so no partition can ever receive an event in
+ * its own past.
+ *
+ * Determinism, the PR 5 bar, holds *by construction*:
+ *
+ *  - The window schedule (nextT, horizon) is a function of event
+ *    timestamps only — never of how many worker threads execute the
+ *    partitions, or in which order.
+ *  - Within a window each partition is driven by exactly one thread
+ *    (lane p = partition p mod lanes), and a partition's own execution
+ *    is the ordinary sequential EventQueue semantics.
+ *  - At the barrier, mailbox entries are merged in the total order
+ *    (when, src partition, per-box append index) — again independent
+ *    of thread count — and each entry is scheduled into its
+ *    destination queue, where the queue's monotonic sequence number
+ *    makes the tie-break permanent.
+ *
+ * Hence `threads = 1` and `threads = N` execute the *identical*
+ * sequence of events per partition, and produce byte-identical
+ * simulations. A kernel with a single partition degenerates to a thin
+ * wrapper around one EventQueue (runWindow == run), which is how the
+ * classic single-threaded configurations keep their exact behaviour.
+ */
+
+#ifndef PM_SIM_PARTITION_HH
+#define PM_SIM_PARTITION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace pm::sim {
+
+class Context;
+
+/** The partitioned conservative-parallel kernel; see the file comment. */
+class Partitioned
+{
+  public:
+    /**
+     * Observer called at every window barrier, after the mailbox
+     * merge, with all partitions quiescent. net::PartitionBridge uses
+     * it to refresh flow-control credit from the then-stable remote
+     * FIFO state and to wake throttled senders. Hooks run on the
+     * driving thread, in registration order (deterministic).
+     */
+    class BarrierHook
+    {
+      public:
+        virtual ~BarrierHook() = default;
+
+        /**
+         * @param wakeTick The first tick of the next window (strictly
+         *        after every partition's now()); events a hook needs
+         *        to schedule must land at or after it.
+         */
+        virtual void atBarrier(Tick wakeTick) = 0;
+    };
+
+    /**
+     * @param partitions Number of event-queue domains (>= 1).
+     * @param threads Worker threads for window execution; clamped to
+     *        `partitions`. 1 (or a single partition) runs everything
+     *        on the driving thread — same results either way.
+     */
+    explicit Partitioned(unsigned partitions, unsigned threads = 1);
+    ~Partitioned();
+
+    Partitioned(const Partitioned &) = delete;
+    Partitioned &operator=(const Partitioned &) = delete;
+
+    unsigned partitions() const
+    {
+        return static_cast<unsigned>(_queues.size());
+    }
+
+    /** Worker threads window execution is spread over. */
+    unsigned threads() const { return _threads; }
+
+    /** Partition p's event queue. */
+    EventQueue &
+    queue(unsigned p)
+    {
+        return *_queues[p];
+    }
+
+    /**
+     * Set the cross-partition lookahead: the minimum delay between an
+     * event executing in one partition and the earliest tick it can
+     * make visible in another (via post()). kTickNever — the initial
+     * value — means "no cross-partition traffic exists", letting each
+     * window run to the limit. Must be > 0 when any post() happens.
+     */
+    void setLookahead(Tick lookahead) { _lookahead = lookahead; }
+    Tick lookahead() const { return _lookahead; }
+
+    /**
+     * Bind a Context for worker lanes: each worker thread binds it
+     * (Context::Scope) while executing its partitions, so a pm_panic
+     * inside a window resolves the owning simulation's forensics no
+     * matter which thread hits it. The driving thread is expected to
+     * hold its own Scope already (probe entry points do).
+     */
+    void setContext(Context *ctx) { _ctx = ctx; }
+
+    /** Register a barrier hook (deterministic registration order). */
+    void addBarrierHook(BarrierHook *hook) { _hooks.push_back(hook); }
+
+    /**
+     * Post a cross-partition event from inside partition `src`'s
+     * window execution. `when` must be at or beyond the current
+     * window's horizon — guaranteed when it includes at least the
+     * lookahead delay. Legal only from the thread driving `src`
+     * (each (src,dst) mailbox is single-producer by construction).
+     */
+    void post(unsigned src, unsigned dst, Tick when, EventFn fn);
+
+    /**
+     * Advance the simulation by one window: run every partition up to
+     * min(global next-event tick + lookahead, limit + 1) exclusive,
+     * in parallel, then merge mailboxes and run barrier hooks.
+     * @return Events executed (0 means nothing is pending within
+     *         `limit` — the kernel is drained).
+     */
+    std::uint64_t runWindow(Tick limit = kTickNever);
+
+    /** Run windows until drained or `limit` is passed. */
+    std::uint64_t
+    run(Tick limit = kTickNever)
+    {
+        std::uint64_t n = 0;
+        std::uint64_t w;
+        while ((w = runWindow(limit)) != 0)
+            n += w;
+        return n;
+    }
+
+    /** No pending events in any partition. */
+    [[nodiscard]] bool
+    empty() const
+    {
+        for (const auto &q : _queues)
+            if (!q->empty())
+                return false;
+        return true;
+    }
+
+    /** The most advanced partition clock (reporting/elapsed time). */
+    [[nodiscard]] Tick
+    maxNow() const
+    {
+        Tick t = 0;
+        for (const auto &q : _queues)
+            t = t < q->now() ? q->now() : t;
+        return t;
+    }
+
+    /** Windows executed over the kernel's lifetime (tests/benches). */
+    std::uint64_t windows() const { return _windows; }
+
+    /** Cross-partition events merged over the lifetime (tests). */
+    std::uint64_t crossPosts() const { return _crossPosts; }
+
+  private:
+    struct Mail
+    {
+        Tick when;
+        EventFn fn;
+    };
+
+    struct Pool; //!< Worker-thread pool state (partition.cc).
+
+    /** Execute one window body: every queue up to `runTo` inclusive. */
+    std::uint64_t runLanes(Tick runTo);
+
+    /** Merge all mailboxes into destination queues, sorted. */
+    void mergeMailboxes(Tick wakeTick);
+
+    /** Merge-order key for one mailbox entry (scratch, driver only). */
+    struct MergeKey
+    {
+        Tick when;
+        unsigned src;
+        std::uint32_t idx; //!< Append index within the (src,dst) box.
+    };
+
+    std::vector<std::unique_ptr<EventQueue>> _queues;
+    std::vector<std::vector<Mail>> _boxes; //!< [src * P + dst].
+    std::vector<MergeKey> _merge; //!< Scratch for mergeMailboxes().
+    Tick _windowBarrier = 0; //!< First tick of the next window.
+    std::vector<BarrierHook *> _hooks;
+    Tick _lookahead = kTickNever;
+    unsigned _threads = 1;
+    Context *_ctx = nullptr;
+    std::uint64_t _windows = 0;
+    std::uint64_t _crossPosts = 0;
+    std::unique_ptr<Pool> _pool; //!< Created on first threaded window.
+};
+
+} // namespace pm::sim
+
+#endif // PM_SIM_PARTITION_HH

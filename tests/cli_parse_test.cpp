@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the strict CLI number/axis parsing (sim/parse.hh) that
+ * pmsim and the benches share. The negative paths are the point:
+ * every one of these inputs used to be silently accepted by the
+ * strto* family (as 0, or as a junk-truncated prefix) and silently
+ * changed what the tool simulated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/parse.hh"
+
+namespace {
+
+using namespace pm::sim;
+
+// ---- u64 / u32. -----------------------------------------------------------
+
+TEST(CliParse, U64AcceptsWholeNumbers)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parse::u64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parse::u64("262144", v));
+    EXPECT_EQ(v, 262144u);
+    EXPECT_TRUE(parse::u64("0x40", v)); // base 0: hex accepted
+    EXPECT_EQ(v, 64u);
+    EXPECT_TRUE(parse::u64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CliParse, U64RejectsGarbageSignsAndOverflow)
+{
+    std::uint64_t v = 42;
+    EXPECT_FALSE(parse::u64(nullptr, v));
+    EXPECT_FALSE(parse::u64("", v));
+    EXPECT_FALSE(parse::u64("abc", v));
+    EXPECT_FALSE(parse::u64("12abc", v)); // trailing junk
+    EXPECT_FALSE(parse::u64("12 ", v));
+    EXPECT_FALSE(parse::u64(" 12", v));
+    EXPECT_FALSE(parse::u64("-3", v)); // strtoull would wrap this
+    EXPECT_FALSE(parse::u64("+3", v));
+    EXPECT_FALSE(parse::u64("18446744073709551616", v)); // 2^64
+    EXPECT_EQ(v, 42u); // out untouched on failure
+}
+
+TEST(CliParse, U32RejectsBeyondUnsigned)
+{
+    unsigned v = 7;
+    EXPECT_TRUE(parse::u32("4294967295", v));
+    EXPECT_EQ(v, 4294967295u);
+    EXPECT_FALSE(parse::u32("4294967296", v));
+    EXPECT_FALSE(parse::u32("junk", v));
+}
+
+// ---- f64. -----------------------------------------------------------------
+
+TEST(CliParse, F64AcceptsFiniteNumbers)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parse::f64("2.746", v));
+    EXPECT_DOUBLE_EQ(v, 2.746);
+    EXPECT_TRUE(parse::f64("-1e-9", v));
+    EXPECT_DOUBLE_EQ(v, -1e-9);
+}
+
+TEST(CliParse, F64RejectsJunkAndNonFinite)
+{
+    double v = 1.0;
+    EXPECT_FALSE(parse::f64("", v));
+    EXPECT_FALSE(parse::f64("1.5x", v));
+    EXPECT_FALSE(parse::f64(" 1.5", v));
+    EXPECT_FALSE(parse::f64("nan", v));
+    EXPECT_FALSE(parse::f64("inf", v));
+    EXPECT_FALSE(parse::f64("1e999", v)); // overflows to inf
+}
+
+// ---- axisSpec. ------------------------------------------------------------
+
+TEST(CliParse, AxisSpecExpandsAdditiveRanges)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    ASSERT_TRUE(parse::axisSpec("nodes=2:8:2", spec, err)) << err;
+    EXPECT_EQ(spec.axis, "nodes");
+    ASSERT_EQ(spec.values.size(), 4u);
+    EXPECT_DOUBLE_EQ(spec.values[0], 2.0);
+    EXPECT_DOUBLE_EQ(spec.values[3], 8.0);
+}
+
+TEST(CliParse, AxisSpecExpandsGeometricRangesInclusively)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    ASSERT_TRUE(parse::axisSpec("bytes=8:64:*2", spec, err)) << err;
+    EXPECT_EQ(spec.axis, "bytes");
+    ASSERT_EQ(spec.values.size(), 4u); // 8 16 32 64 — endpoint included
+    EXPECT_DOUBLE_EQ(spec.values[3], 64.0);
+}
+
+TEST(CliParse, AxisSpecAcceptsSinglePointRange)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    ASSERT_TRUE(parse::axisSpec("bytes=64:64:*2", spec, err)) << err;
+    ASSERT_EQ(spec.values.size(), 1u);
+    EXPECT_DOUBLE_EQ(spec.values[0], 64.0);
+}
+
+TEST(CliParse, AxisSpecRejectsMalformedShapes)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse::axisSpec("garbage", spec, err));
+    EXPECT_NE(err.find("expected <axis>="), std::string::npos) << err;
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64", spec, err)); // missing step
+    EXPECT_FALSE(parse::axisSpec("=8:64:*2", spec, err)); // empty axis
+    EXPECT_NE(err.find("empty axis"), std::string::npos) << err;
+}
+
+TEST(CliParse, AxisSpecRejectsTrailingJunk)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    // The original bug: strtod dropped the 'x' and swept to 64 by 2.
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64:2x", spec, err));
+    EXPECT_NE(err.find("non-numeric"), std::string::npos) << err;
+    EXPECT_FALSE(parse::axisSpec("bytes=8z:64:2", spec, err));
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64q:2", spec, err));
+}
+
+TEST(CliParse, AxisSpecRejectsNonAdvancingSteps)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    // Any of these would loop forever (or backwards) when expanded.
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64:0", spec, err));
+    EXPECT_NE(err.find("step must be"), std::string::npos) << err;
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64:-4", spec, err));
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64:*1", spec, err));
+    EXPECT_FALSE(parse::axisSpec("bytes=8:64:*0.5", spec, err));
+    EXPECT_FALSE(parse::axisSpec("bytes=0:64:*2", spec, err)); // lo <= 0
+}
+
+TEST(CliParse, AxisSpecRejectsEmptyRange)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse::axisSpec("bytes=64:8:*2", spec, err));
+    EXPECT_NE(err.find("hi < lo"), std::string::npos) << err;
+}
+
+TEST(CliParse, AxisSpecRejectsRunawayExpansion)
+{
+    parse::AxisSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse::axisSpec("bytes=1:1e9:1", spec, err));
+    EXPECT_NE(err.find(">100000 points"), std::string::npos) << err;
+}
+
+} // namespace

@@ -87,12 +87,14 @@ TEST(InputFifo, FillCallbackFiresOnEveryPush)
     EXPECT_EQ(fills, 2);
 }
 
-TEST(InputFifo, ClearFiresNoCallbacksAndDropsThem)
+TEST(InputFifo, ClearFiresNothingDropsWaitersKeepsFillCallback)
 {
-    // Regression: clear() used to notify throttled senders, waking them
-    // into a torn-down configuration mid-reset. It must drop both the
-    // one-shot space callbacks and the persistent fill callback without
-    // invoking anything.
+    // Regression, two ways. clear() used to notify throttled senders,
+    // waking them into a torn-down configuration mid-reset: it must
+    // invoke nothing. And it used to drop the *persistent* fill
+    // callback with the contents, so any owner that forgot to
+    // re-register received symbols into a deaf FIFO on the next run:
+    // the fill callback is wiring, and must survive.
     InputFifo f("f", 1);
     f.push(Symbol::makeData(1), 0);
     int spaceFired = 0, fillFired = 0;
@@ -102,10 +104,11 @@ TEST(InputFifo, ClearFiresNoCallbacksAndDropsThem)
     EXPECT_EQ(spaceFired, 0);
     EXPECT_EQ(fillFired, 0);
     EXPECT_TRUE(f.empty());
-    // The stale fill callback must not fire for post-reset traffic.
+    // A second run on the cleared FIFO still delivers fill
+    // notifications through the surviving callback.
     f.push(Symbol::makeData(2), 0);
-    EXPECT_EQ(fillFired, 0);
-    // And a stale one-shot must not fire on post-reset drains.
+    EXPECT_EQ(fillFired, 1);
+    // But the stale one-shot space waiter must not fire on its drains.
     (void)f.pop();
     EXPECT_EQ(spaceFired, 0);
 }

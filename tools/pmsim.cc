@@ -36,6 +36,7 @@
 #include "node/node.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "sim/sweep.hh"
 #include "workloads/runner.hh"
 
@@ -75,14 +76,21 @@ class Args
         return it == _kv.end() ? dflt : it->second;
     }
 
+    // Numeric lookups parse strictly: `--jobs garbage` or
+    // `--bytes 64k` is a usage error naming the flag, never a silent
+    // 0 or truncated prefix.
+
     unsigned
     num(const std::string &k, unsigned dflt) const
     {
         auto it = _kv.find(k);
         if (it == _kv.end())
             return dflt;
-        return static_cast<unsigned>(std::strtoul(it->second.c_str(),
-                                                  nullptr, 0));
+        unsigned v = 0;
+        if (!sim::parse::u32(it->second.c_str(), v))
+            pm_fatal("--%s expects an unsigned number, got '%s'",
+                     k.c_str(), it->second.c_str());
+        return v;
     }
 
     std::uint64_t
@@ -91,7 +99,11 @@ class Args
         auto it = _kv.find(k);
         if (it == _kv.end())
             return dflt;
-        return std::strtoull(it->second.c_str(), nullptr, 0);
+        std::uint64_t v = 0;
+        if (!sim::parse::u64(it->second.c_str(), v))
+            pm_fatal("--%s expects an unsigned number, got '%s'",
+                     k.c_str(), it->second.c_str());
+        return v;
     }
 
     double
@@ -100,7 +112,11 @@ class Args
         auto it = _kv.find(k);
         if (it == _kv.end())
             return dflt;
-        return std::strtod(it->second.c_str(), nullptr);
+        double v = 0.0;
+        if (!sim::parse::f64(it->second.c_str(), v))
+            pm_fatal("--%s expects a number, got '%s'", k.c_str(),
+                     it->second.c_str());
+        return v;
     }
 
   private:
@@ -205,6 +221,7 @@ struct CommCfg
     double watchdogUs = 0.0;
     double watchdogDeadlineUs = 0.0;
     std::string dumpFile;
+    unsigned kernelThreads = 0; //!< 0 = classic single-queue kernel.
 
     unsigned src = 0;
     unsigned dst = 1;
@@ -230,13 +247,17 @@ parseCommCfg(const Args &args)
     if (args.has("fault-link-down")) {
         const std::string w = args.str("fault-link-down", "");
         const auto colon = w.find(':');
-        if (colon == std::string::npos)
-            pm_fatal("--fault-link-down expects FROM:TO (microseconds)");
+        double from = 0.0;
+        double to = 0.0;
+        if (colon == std::string::npos ||
+            !sim::parse::f64(w.substr(0, colon).c_str(), from) ||
+            !sim::parse::f64(w.substr(colon + 1).c_str(), to))
+            pm_fatal("--fault-link-down expects FROM:TO (microseconds), "
+                     "got '%s'",
+                     w.c_str());
         cfg.haveLinkDown = true;
-        cfg.linkDown.from = static_cast<Tick>(
-            std::strtod(w.c_str(), nullptr) * kTicksPerUs);
-        cfg.linkDown.to = static_cast<Tick>(
-            std::strtod(w.c_str() + colon + 1, nullptr) * kTicksPerUs);
+        cfg.linkDown.from = static_cast<Tick>(from * kTicksPerUs);
+        cfg.linkDown.to = static_cast<Tick>(to * kTicksPerUs);
         if (cfg.linkDown.to <= cfg.linkDown.from)
             pm_fatal("--fault-link-down window is empty");
     }
@@ -249,6 +270,18 @@ parseCommCfg(const Args &args)
         cfg.watchdogDeadlineUs = args.dbl("watchdog-deadline", 0.0);
     }
     cfg.dumpFile = args.str("dump-file", "");
+    if (args.has("kernel-threads")) {
+        cfg.kernelThreads = args.num("kernel-threads", 0);
+        if (cfg.kernelThreads == 0)
+            pm_fatal("--kernel-threads expects a thread count >= 1");
+        if (cfg.watchdog)
+            pm_fatal("--kernel-threads is incompatible with --watchdog "
+                     "(the watchdog tracks progress on one queue)");
+        if (cfg.ber != 0.0 || cfg.drop != 0.0 || cfg.haveLinkDown)
+            pm_fatal("--kernel-threads is incompatible with fault "
+                     "injection (fault-model counters are shared "
+                     "across clusters)");
+    }
     cfg.src = args.num("src", 0);
     cfg.dst = args.num("dst", 1);
     cfg.bytes = args.num("bytes", 8);
@@ -273,6 +306,7 @@ runCommPoint(const CommCfg &cfg)
     sp.fabric.nodesPerCluster = cfg.nodes;
     sp.fabric.uplinksPerCluster = cfg.clusters > 1 ? cfg.uplinks : 0;
     sp.fabric.ni.fifoWords = cfg.fifo;
+    sp.kernelThreads = cfg.kernelThreads;
 
     // Fault injection: configured before the System so the fabric's
     // links snapshot the config as they are built. The model must
@@ -355,52 +389,18 @@ runCommPoint(const CommCfg &cfg)
 
 // ---- comm: axis sweeps. ---------------------------------------------------
 
-struct SweepSpec
-{
-    std::string axis;
-    std::vector<double> values;
-};
-
 /**
- * Parse `<axis>=<lo>:<hi>:<step>` (additive) or
- * `<axis>=<lo>:<hi>:*<factor>` (multiplicative). Axes: bytes, count,
- * nodes, clusters, fifo, ber.
+ * Parse and validate `<axis>=<lo>:<hi>:<step>` (additive) or
+ * `<axis>=<lo>:<hi>:*<factor>` (multiplicative) via the shared strict
+ * parser. Axes: bytes, count, nodes, clusters, fifo, ber.
  */
-SweepSpec
+sim::parse::AxisSpec
 parseSweepSpec(const std::string &spec)
 {
-    SweepSpec s;
-    const auto eq = spec.find('=');
-    const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq);
-    const auto c2 =
-        c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
-    if (eq == std::string::npos || c1 == std::string::npos ||
-        c2 == std::string::npos)
-        pm_fatal("--sweep expects <axis>=<lo>:<hi>:<step> "
-                 "(or :*<factor>), got '%s'",
-                 spec.c_str());
-    s.axis = spec.substr(0, eq);
-    const double lo = std::strtod(spec.c_str() + eq + 1, nullptr);
-    const double hi = std::strtod(spec.c_str() + c1 + 1, nullptr);
-    const bool geometric = spec[c2 + 1] == '*';
-    const double step =
-        std::strtod(spec.c_str() + c2 + 1 + (geometric ? 1 : 0),
-                    nullptr);
-    if (geometric ? (step <= 1.0 || lo <= 0.0) : step <= 0.0)
-        pm_fatal("--sweep step must be %s, got '%s'",
-                 geometric ? "a factor > 1 with lo > 0" : "> 0",
-                 spec.c_str());
-    if (hi < lo)
-        pm_fatal("--sweep range is empty: '%s'", spec.c_str());
-    // Epsilon absorbs accumulated floating-point error so the upper
-    // bound itself is included (bytes=8:64:*2 ends at 64).
-    for (double v = lo; v <= hi * (1.0 + 1e-9);
-         v = geometric ? v * step : v + step) {
-        s.values.push_back(v);
-        if (s.values.size() > 100000)
-            pm_fatal("--sweep would generate >100000 points: '%s'",
-                     spec.c_str());
-    }
+    sim::parse::AxisSpec s;
+    std::string err;
+    if (!sim::parse::axisSpec(spec, s, err))
+        pm_fatal("--sweep: %s", err.c_str());
     return s;
 }
 
@@ -448,7 +448,7 @@ cmdComm(const Args &args)
         return 0;
     }
 
-    const SweepSpec spec = parseSweepSpec(args.str("sweep", ""));
+    const sim::parse::AxisSpec spec = parseSweepSpec(args.str("sweep", ""));
     // Validate the axis name before spawning anything.
     {
         CommCfg probe = base;
@@ -507,6 +507,8 @@ usage()
                  "       [--fault-seed S] [--fault-link-down FROM:TO]\n"
                  "       [--watchdog US] [--watchdog-deadline US]\n"
                  "       [--dump-file PATH] [--stats]\n"
+                 "       [--kernel-threads N]  (partitioned parallel\n"
+                 "         event kernel; byte-identical for any N)\n"
                  "       [--sweep AXIS=LO:HI:STEP] [--jobs N]\n"
                  "         AXIS: bytes|count|nodes|clusters|fifo|ber;\n"
                  "         STEP: additive, or *F for a factor\n"
