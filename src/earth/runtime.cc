@@ -29,19 +29,26 @@ NodeRt::NodeRt(Runtime &rt, unsigned nodeId)
 {
     // CRC failures are absorbed by the driver's retransmit protocol;
     // only an exhausted retry budget (a dead link) reaches the runtime.
-    // Rather than stopping the whole machine, mark the peer dead and
-    // degrade: its tokens are written off and the survivors keep going.
+    // Rather than stopping the whole machine, record the death and
+    // degrade: the callback fires inside a driver event (this node's
+    // home partition when the kernel is partitioned), so it only
+    // queues a node-local report — the machine-wide bookkeeping runs
+    // in Runtime::drainDeathReports() on the driving thread.
     _comm.onDeliveryFailure(
         [this](unsigned dst, std::uint64_t seq, unsigned abandoned) {
-            _rt.peerDied(*this, dst, seq, abandoned);
+            _deathReports.push_back(
+                DeathReport{dst, seq, abandoned, _comm.now()});
         });
+    // Resumed machines (a System that ran probes before the runtime
+    // was built) start the clock at the drained machine's "now".
+    _lastActivity = std::max(rt.system().simNow(), _comm.proc().time());
     armReceiver();
 }
 
 NodeRt::~NodeRt()
 {
     // Harmlessly returns false if the EU step already ran.
-    _rt.system().queue().cancel(_euEvent);
+    queue().cancel(_euEvent);
 }
 
 cpu::Proc &
@@ -166,10 +173,19 @@ NodeRt::putRemote(unsigned node, Addr addr, std::uint64_t value,
 }
 
 void
+NodeRt::noteActivity()
+{
+    // Captured inside this node's own events (or on the driving thread
+    // between windows), so the stamp is kernel-thread-count invariant.
+    _lastActivity =
+        std::max({_lastActivity, _comm.now(), _comm.proc().time()});
+}
+
+void
 NodeRt::send(unsigned dstNode, std::vector<std::uint64_t> token)
 {
-    ++_rt._inFlight;
-    _rt._lastToken = _rt.system().queue().now();
+    ++_tokensSent;
+    noteActivity();
     _comm.postSend(dstNode, std::move(token));
 }
 
@@ -196,9 +212,9 @@ NodeRt::failPendingGets(unsigned deadPeer)
 void
 NodeRt::handleToken(std::vector<std::uint64_t> w)
 {
-    --_rt._inFlight;
-    _rt._lastToken = _rt.system().queue().now();
+    ++_tokensHandled;
     proc().stallCycles(_rt.costs().requestHandling);
+    noteActivity();
     if (w.empty())
         pm_panic("earth: empty token");
     switch (w[0]) {
@@ -249,11 +265,14 @@ NodeRt::handleToken(std::vector<std::uint64_t> w)
 void
 NodeRt::scheduleEu()
 {
-    auto &queue = _rt.system().queue();
-    if (queue.scheduled(_euEvent) || _ready.empty())
+    // The EU lives on this node's home queue (queueFor(node)), so the
+    // partitioned kernel runs every node's fibers inside that node's
+    // partition — never across one.
+    auto &q = queue();
+    if (q.scheduled(_euEvent) || _ready.empty())
         return;
-    const Tick when = std::max(queue.now(), proc().time());
-    _euEvent = queue.schedule(when, [this] { euStep(); });
+    const Tick when = std::max(q.now(), proc().time());
+    _euEvent = q.schedule(when, [this] { euStep(); });
 }
 
 void
@@ -261,12 +280,13 @@ NodeRt::euStep()
 {
     if (_ready.empty())
         return;
-    proc().advanceTo(_rt.system().queue().now());
+    proc().advanceTo(queue().now());
     proc().stallCycles(_rt.costs().fiberDispatch);
     FiberFn fiber = std::move(_ready.front());
     _ready.pop_front();
     ++fibersRun;
     fiber(*this);
+    noteActivity();
     scheduleEu();
 }
 
@@ -276,13 +296,8 @@ Runtime::Runtime(msg::System &sys, EarthCosts costs)
     : _sys(sys),
       _costs(costs)
 {
-    if (sys.partitioned())
-        pm_fatal("earth: the runtime schedules every node's EU on "
-                 "queue() and shares token state across nodes; build "
-                 "the System with kernelThreads = 0");
     sys.resetForRun();
     sys.health().add(this);
-    _lastToken = sys.queue().now();
     for (unsigned n = 0; n < sys.numNodes(); ++n)
         _nodes.push_back(std::make_unique<NodeRt>(*this, n));
 }
@@ -309,13 +324,36 @@ Runtime::function(std::uint32_t fnId) const
     return it->second;
 }
 
+std::int64_t
+Runtime::tokensInFlight() const
+{
+    std::int64_t inFlight = 0;
+    for (const auto &n : _nodes)
+        inFlight += static_cast<std::int64_t>(n->_tokensSent) -
+                    static_cast<std::int64_t>(n->_tokensHandled) -
+                    static_cast<std::int64_t>(n->_tokensWrittenOff);
+    return inFlight;
+}
+
+Tick
+Runtime::lastActivity() const
+{
+    Tick t = 0;
+    for (const auto &n : _nodes)
+        t = std::max(t, n->_lastActivity);
+    return t;
+}
+
 bool
 Runtime::quiescent() const
 {
-    if (_inFlight > 0)
+    for (const auto &n : _nodes)
+        if (!n->_deathReports.empty())
+            return false;
+    if (tokensInFlight() > 0)
         return false;
     for (const auto &n : _nodes)
-        if (!n->_ready.empty() || _sys.queue().scheduled(n->_euEvent))
+        if (!n->_ready.empty() || n->queue().scheduled(n->_euEvent))
             return false;
     return true;
 }
@@ -327,41 +365,104 @@ Runtime::run()
     // pm_assert inside the fibers) must resolve this System's tick
     // and dump hooks even with sibling simulations in the process.
     sim::Context::Scope scope(_sys.context());
-    auto &queue = _sys.queue();
-    Tick start = queue.now();
-    for (const auto &n : _nodes)
-        start = std::max(start, n->_comm.proc().time());
+    drainDeathReports();
+    const Tick start = lastActivity();
 
-    while (!quiescent() && queue.step()) {
+    // Quiescence (and the death reports feeding it) is judged on the
+    // driving thread between pump() calls: one event of the classic
+    // queue, one whole window of the partitioned kernel.
+    while (true) {
+        drainDeathReports();
+        if (quiescent())
+            break;
+        if (_sys.pump() == 0)
+            break;
     }
+    drainDeathReports();
     if (!quiescent())
         pm_panic("earth: deadlock — event queue drained while fibers or "
                  "tokens remain");
 
-    Tick end = queue.now();
-    for (const auto &n : _nodes)
-        end = std::max(end, n->_comm.proc().time());
+    // The program is done; elapsed time is measured on the node-local
+    // activity stamps (kernel-invariant), not on post-loop queue
+    // clocks — the partitioned kernel finishes whole windows and so
+    // overshoots by a thread-count-dependent amount.
+    const Tick end = lastActivity();
+
+    if (_deadPeers.empty()) {
+        // Drain trailing ACK handshakes so the next run() — and any
+        // post-run stats read — starts from a fully quiescent machine
+        // regardless of kernel thread count. Impossible once a peer
+        // died: its wedged sends never quiesce, so the survivors'
+        // state is read at quiescence instead.
+        const auto died = [&] {
+            for (const auto &n : _nodes)
+                if (!n->_deathReports.empty())
+                    return true;
+            return false;
+        };
+        const auto quiet = [&] {
+            for (const auto &n : _nodes)
+                if (!n->_comm.quiescent())
+                    return false;
+            return _sys.fabric().wireQuiet();
+        };
+        // A peer can still die *during* the drain (a retransmit burst
+        // exhausting its budget): bail out and leave the report for
+        // the next run() rather than spin on a wire that will never
+        // go quiet.
+        while (!died() && !quiet() && _sys.pump() != 0) {
+        }
+        if (!died() && quiet())
+            _sys.auditQuiescent("earth.run");
+    }
+
     return end > start ? end - start : 0;
 }
 
 // ---- Graceful peer-death degradation. -------------------------------------
 
 void
-Runtime::peerDied(NodeRt &node, unsigned deadPeer, std::uint64_t seq,
-                  unsigned abandoned)
+Runtime::drainDeathReports()
 {
-    pm_warn("earth: node %u gave up on node %u at seq %llu "
-            "(%u tokens written off); degrading without it",
-            node.nodeId(), deadPeer, (unsigned long long)seq, abandoned);
-    _deadPeers.insert(deadPeer);
-    // The abandoned tokens will never be handled; leaving them counted
-    // would turn every later run() into the deadlock panic. Clamped:
-    // the driver reports an upper bound (a lost ACK makes delivery of
-    // the oldest message ambiguous — two-generals).
-    _inFlight -= std::min<std::uint64_t>(_inFlight, abandoned);
-    node.failPendingGets(deadPeer);
-    if (_onPeerDeath)
-        _onPeerDeath(node.nodeId(), deadPeer);
+    struct Item
+    {
+        NodeRt::DeathReport report;
+        unsigned node = 0;
+    };
+    std::vector<Item> all;
+    for (const auto &n : _nodes) {
+        for (const auto &r : n->_deathReports)
+            all.push_back(Item{r, n->_nodeId});
+        n->_deathReports.clear();
+    }
+    if (all.empty())
+        return;
+    std::sort(all.begin(), all.end(), [](const Item &a, const Item &b) {
+        if (a.report.tick != b.report.tick)
+            return a.report.tick < b.report.tick;
+        if (a.node != b.node)
+            return a.node < b.node;
+        return a.report.seq < b.report.seq;
+    });
+    for (const Item &it : all) {
+        NodeRt &node = *_nodes[it.node];
+        pm_warn("earth: node %u gave up on node %u at seq %llu "
+                "(%u tokens written off); degrading without it",
+                it.node, it.report.deadPeer,
+                (unsigned long long)it.report.seq, it.report.abandoned);
+        _deadPeers.insert(it.report.deadPeer);
+        // The abandoned tokens will never be handled; leaving them
+        // counted would turn every later run() into the deadlock
+        // panic. The count is an upper bound (a lost ACK makes
+        // delivery of the oldest message ambiguous — two-generals),
+        // which is why tokensInFlight() is signed and <= 0 reads as
+        // quiescent.
+        node._tokensWrittenOff += it.report.abandoned;
+        node.failPendingGets(it.report.deadPeer);
+        if (_onPeerDeath)
+            _onPeerDeath(it.node, it.report.deadPeer);
+    }
 }
 
 std::vector<unsigned>
@@ -373,17 +474,20 @@ Runtime::deadPeers() const
 void
 Runtime::checkHealth(sim::health::Check &check)
 {
-    if (_inFlight > 0 && check.expired(_lastToken))
+    const std::int64_t inFlight = tokensInFlight();
+    const Tick last = lastActivity();
+    if (inFlight > 0 && check.expired(last))
         check.report("%llu token(s) in flight but none handled since "
                      "tick %llu (fibers starved?)",
-                     (unsigned long long)_inFlight,
-                     (unsigned long long)_lastToken);
+                     (unsigned long long)inFlight,
+                     (unsigned long long)last);
 }
 
 void
 Runtime::dumpState(std::ostream &os) const
 {
-    os << "  inFlight=" << _inFlight << " deadPeers={";
+    os << "  inFlight=" << std::max<std::int64_t>(0, tokensInFlight())
+       << " deadPeers={";
     const char *sep = "";
     for (unsigned p : _deadPeers) {
         os << sep << p;
@@ -395,7 +499,7 @@ Runtime::dumpState(std::ostream &os) const
            << " slots=" << n->_slots.size()
            << " pendingGets=" << n->_gets.size()
            << " euScheduled="
-           << (_sys.queue().scheduled(n->_euEvent) ? "yes" : "no")
+           << (n->queue().scheduled(n->_euEvent) ? "yes" : "no")
            << "\n";
     }
 }

@@ -153,6 +153,22 @@ class NodeRt
         SlotRef slot;
     };
 
+    /**
+     * A delivery failure recorded by this node's transport callback.
+     * The callback runs inside a driver event — on the node's home
+     * partition when the kernel is partitioned — so it only appends
+     * here; Runtime::drainDeathReports() (driving thread, between
+     * windows) sorts all nodes' reports and applies the machine-wide
+     * consequences deterministically.
+     */
+    struct DeathReport
+    {
+        unsigned deadPeer = 0;
+        std::uint64_t seq = 0;
+        unsigned abandoned = 0;
+        Tick tick = 0;
+    };
+
     Runtime &_rt;
     unsigned _nodeId;
     msg::PmComm _comm;
@@ -164,6 +180,18 @@ class NodeRt
     std::uint32_t _nextGet = 1;
     sim::EventHandle _euEvent; //!< Live while an EU step is queued.
 
+    // Node-local token accounting: only this node's callbacks (home
+    // partition) write these mid-window; the Runtime folds them into
+    // machine-wide quiescence/health sums on the driving thread.
+    std::uint64_t _tokensSent = 0;
+    std::uint64_t _tokensHandled = 0;
+    std::uint64_t _tokensWrittenOff = 0;
+    Tick _lastActivity = 0; //!< Last send/handle/fiber, node-local.
+    std::vector<DeathReport> _deathReports;
+
+    /** The event queue this node's EU and driver live on. */
+    sim::EventQueue &queue() { return _comm.queue(); }
+
     void armReceiver();
     void failPendingGets(unsigned deadPeer);
     void handleToken(std::vector<std::uint64_t> token);
@@ -171,6 +199,7 @@ class NodeRt
     void euStep();
     void syncLocal(std::uint32_t slotId);
     void send(unsigned dstNode, std::vector<std::uint64_t> token);
+    void noteActivity();
 };
 
 /**
@@ -248,16 +277,33 @@ class Runtime : public sim::health::Reporter
     EarthCosts _costs;
     std::vector<std::unique_ptr<NodeRt>> _nodes;
     std::map<std::uint32_t, ThreadedFn> _functions;
-    std::uint64_t _inFlight = 0; //!< Tokens sent but not yet handled.
     std::set<unsigned> _deadPeers;
     PeerDeathFn _onPeerDeath;
-    Tick _lastToken = 0; //!< Last send or token handled, for health.
     std::string _healthName = "earth";
 
     bool quiescent() const;
     const ThreadedFn &function(std::uint32_t fnId) const;
-    void peerDied(NodeRt &node, unsigned deadPeer, std::uint64_t seq,
-                  unsigned abandoned);
+
+    /**
+     * Tokens sent but not yet handled or written off, summed over all
+     * nodes. Signed and possibly negative: a write-off is an upper
+     * bound (a lost ACK makes delivery of the oldest message ambiguous
+     * — two-generals), so <= 0 reads as "none in flight".
+     */
+    std::int64_t tokensInFlight() const;
+
+    /** Latest node-local activity stamp (send/handle/fiber). */
+    Tick lastActivity() const;
+
+    /**
+     * Apply all nodes' queued delivery-failure reports, sorted by
+     * (tick, node, seq): warn, mark the peer dead machine-wide, write
+     * off the abandoned tokens, drop GETs awaiting the dead peer, and
+     * fire the user callback. Driving thread only, so the user
+     * callback and the pm_warn order are deterministic at any kernel
+     * thread count.
+     */
+    void drainDeathReports();
 };
 
 } // namespace pm::earth

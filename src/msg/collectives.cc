@@ -13,10 +13,6 @@ Communicator::Communicator(System &sys, std::vector<unsigned> nodes)
 {
     if (_nodes.size() < 2)
         pm_fatal("communicator: need at least two ranks");
-    if (sys.partitioned())
-        pm_fatal("communicator: collectives share per-operation state "
-                 "across all ranks and step queue() directly; build the "
-                 "System with kernelThreads = 0");
     for (unsigned n : _nodes)
         _comms.push_back(std::make_unique<PmComm>(sys, n));
 }
@@ -31,39 +27,77 @@ Communicator::rounds() const
 }
 
 void
-Communicator::runUntil(const bool &done)
+Communicator::runUntil(const std::function<bool()> &done)
 {
     // Every collective drives the machine through here: bind the
     // owning System's context so a stall's panic carries *its* tick
     // and forensics, not a bystander simulation's.
     sim::Context::Scope scope(_sys.context());
-    while (!done && _sys.queue().step()) {
+    while (!done() && _sys.pump() != 0) {
     }
-    if (!done)
+    if (!done())
         pm_panic("collective stalled: event queue drained before "
                  "completion");
 }
 
+void
+Communicator::drain()
+{
+    sim::Context::Scope scope(_sys.context());
+    const auto quiet = [&] {
+        for (const auto &c : _comms)
+            if (!c->quiescent())
+                return false;
+        return _sys.fabric().wireQuiet();
+    };
+    // Pump to full exhaustion, not first quiescence: the classic
+    // kernel stops on the exact event that quiets the machine, while
+    // the partitioned kernel finishes its window — stopping early
+    // would leave the two with different residual timers and a
+    // different simNow(), skewing the next op's start. A watchdog
+    // scan reschedules itself forever, so with one enabled the
+    // machine can never exhaust; stop at quiescence there.
+    if (_sys.health().watchdogEnabled()) {
+        while (!quiet() && _sys.pump() != 0) {
+        }
+    } else {
+        while (_sys.pump() != 0) {
+        }
+        _sys.kernel().alignClocks();
+    }
+    if (!quiet())
+        pm_panic("collective drain stalled: endpoints or wires still "
+                 "busy on an empty machine");
+    _sys.auditQuiescent("collective");
+}
+
 namespace {
 
-/** Start time for an operation: the latest participant clock. */
+/**
+ * Start time for an operation: the latest participant clock. Called
+ * only on a drained machine (construction or post-drain), where
+ * simNow() — the globally last executed tick — is identical for the
+ * classic and partitioned kernels at any thread count.
+ */
 Tick
 opStart(System &sys, std::vector<std::unique_ptr<PmComm>> &comms)
 {
-    Tick t = sys.queue().now();
+    Tick t = sys.simNow();
     for (auto &c : comms)
         t = std::max(t, c->proc().time());
     return t;
 }
 
+/**
+ * A rank's completion stamp, taken *inside* its completing callback:
+ * the rank's own queue tick (the executing event's time, which is
+ * kernel-invariant) joined with its processor clock. Never read
+ * another partition's clock here.
+ */
 Tick
-opEnd(System &sys, std::vector<std::unique_ptr<PmComm>> &comms,
-      Tick start)
+finishStamp(PmComm &comm)
 {
-    Tick t = sys.queue().now();
-    for (auto &c : comms)
-        t = std::max(t, c->proc().time());
-    return t > start ? t - start : 0;
+    return std::max(comm.now(), comm.proc().time());
 }
 
 } // namespace
@@ -75,18 +109,21 @@ Communicator::barrier()
     const unsigned R = rounds();
     const Tick start = opStart(_sys, _comms);
 
+    // Per-rank state only: rank r's entry is touched exclusively by
+    // rank r's own send/recv callbacks, which all execute in node r's
+    // home partition. Completion is judged by the driving thread
+    // scanning the finished flags between windows.
     struct RankState
     {
         unsigned round = 0; //!< Next round to start.
         bool sendDone = true;
         std::vector<bool> tokenSeen; //!< Arrived round tokens.
         bool finished = false;
+        Tick finishTick = 0;
     };
     std::vector<RankState> st(p);
     for (auto &s : st)
         s.tokenSeen.assign(R, false);
-    unsigned finished = 0;
-    bool done = false;
 
     // Every rank receives exactly one token per round, but arrival
     // order can cross rounds under skew; tokens carry their round.
@@ -96,8 +133,7 @@ Communicator::barrier()
                (s.round == 0 || s.tokenSeen[s.round - 1])) {
             if (s.round == R) {
                 s.finished = true;
-                if (++finished == p)
-                    done = true;
+                s.finishTick = finishStamp(*_comms[r]);
                 break;
             }
             const unsigned k = s.round++;
@@ -125,8 +161,17 @@ Communicator::barrier()
     for (unsigned r = 0; r < p; ++r)
         advance(r);
 
-    runUntil(done);
-    return opEnd(_sys, _comms, start);
+    runUntil([&] {
+        for (const auto &s : st)
+            if (!s.finished)
+                return false;
+        return true;
+    });
+    Tick end = start;
+    for (const auto &s : st)
+        end = std::max(end, s.finishTick);
+    drain();
+    return end - start;
 }
 
 Tick
@@ -139,16 +184,32 @@ Communicator::broadcast(unsigned root,
         pm_fatal("broadcast: bad root %u", root);
     const Tick start = opStart(_sys, _comms);
 
-    unsigned delivered = 1; // the root holds the data already
-    unsigned sendsLeft = 0;
-    bool done = p == 1;
+    // Per-rank state only (see barrier): rank r finishes once it
+    // holds the payload and its last subtree send has completed.
+    struct RankState
+    {
+        bool have = false;
+        unsigned sendsLeft = 0;
+        bool finished = false;
+        Tick finishTick = 0;
+    };
+    std::vector<RankState> st(p);
 
     // Virtual ranks relative to the root.
     auto vrel = [&](unsigned r) { return (r + p - root) % p; };
     auto real = [&](unsigned v) { return (v + root) % p; };
 
+    auto finishIfIdle = [&](unsigned r) {
+        RankState &s = st[r];
+        if (!s.finished && s.have && s.sendsLeft == 0) {
+            s.finished = true;
+            s.finishTick = finishStamp(*_comms[r]);
+        }
+    };
+
     std::function<void(unsigned)> sendPhase = [&](unsigned v) {
         // Once rank v holds the data it feeds all its subtree peers.
+        const unsigned r = real(v);
         unsigned firstK = 0;
         while (v >= (1u << firstK))
             ++firstK;
@@ -156,14 +217,13 @@ Communicator::broadcast(unsigned root,
             const unsigned peerV = v + (1u << k);
             if (peerV >= p)
                 continue;
-            ++sendsLeft;
-            _comms[real(v)]->postSend(_nodes[real(peerV)], words, [&] {
-                if (--sendsLeft == 0 && delivered == p)
-                    done = true;
+            ++st[r].sendsLeft;
+            _comms[r]->postSend(_nodes[real(peerV)], words, [&, r] {
+                if (--st[r].sendsLeft == 0)
+                    finishIfIdle(r);
             });
         }
-        if (sendsLeft == 0 && delivered == p)
-            done = true;
+        finishIfIdle(r);
     };
 
     for (unsigned r = 0; r < p; ++r) {
@@ -171,19 +231,27 @@ Communicator::broadcast(unsigned root,
         if (v == 0)
             continue;
         _comms[r]->postRecv(
-            [&, v](std::vector<std::uint64_t> got, bool ok) {
+            [&, r, v](std::vector<std::uint64_t> got, bool ok) {
                 if (!ok || got != words)
                     pm_panic("broadcast payload corrupted");
-                ++delivered;
+                st[r].have = true;
                 sendPhase(v);
-                if (sendsLeft == 0 && delivered == p)
-                    done = true;
             });
     }
+    st[root].have = true;
     sendPhase(0);
 
-    runUntil(done);
-    return opEnd(_sys, _comms, start);
+    runUntil([&] {
+        for (const auto &s : st)
+            if (!s.finished)
+                return false;
+        return true;
+    });
+    Tick end = start;
+    for (const auto &s : st)
+        end = std::max(end, s.finishTick);
+    drain();
+    return end - start;
 }
 
 Tick
@@ -202,15 +270,20 @@ Communicator::reduceSum(
             pm_fatal("reduceSum: contributions differ in length");
     const Tick start = opStart(_sys, _comms);
 
+    // Indexed by *virtual* rank; entry v is touched only by real rank
+    // real(v)'s callbacks (one partition). The root's result is copied
+    // out on the driving thread after the run, never written from a
+    // callback.
     struct RankState
     {
         std::vector<std::uint64_t> acc;
         unsigned round = 0;
         unsigned pendingRecvs = 0;
         bool sent = false;
+        bool finished = false;
+        Tick finishTick = 0;
     };
     std::vector<RankState> st(p);
-    bool done = false;
 
     auto vrel = [&](unsigned r) { return (r + p - root) % p; };
     auto real = [&](unsigned v) { return (v + root) % p; };
@@ -230,7 +303,11 @@ Communicator::reduceSum(
                 // Our turn to send up the tree.
                 s.sent = true;
                 _comms[real(v)]->postSend(
-                    _nodes[real(v - (1u << k))], s.acc);
+                    _nodes[real(v - (1u << k))], s.acc, [&, v] {
+                        st[v].finished = true;
+                        st[v].finishTick =
+                            finishStamp(*_comms[real(v)]);
+                    });
                 return;
             }
             if (v + (1u << k) < p) {
@@ -242,8 +319,8 @@ Communicator::reduceSum(
             ++s.round;
         }
         if (v == 0) {
-            result = s.acc;
-            done = true;
+            s.finished = true;
+            s.finishTick = finishStamp(*_comms[real(v)]);
         }
     };
 
@@ -277,8 +354,18 @@ Communicator::reduceSum(
     for (unsigned v = 0; v < p; ++v)
         advance(v);
 
-    runUntil(done);
-    return opEnd(_sys, _comms, start);
+    runUntil([&] {
+        for (const auto &s : st)
+            if (!s.finished)
+                return false;
+        return true;
+    });
+    result = st[0].acc;
+    Tick end = start;
+    for (const auto &s : st)
+        end = std::max(end, s.finishTick);
+    drain();
+    return end - start;
 }
 
 Tick

@@ -17,6 +17,7 @@
 #define PM_MSG_COLLECTIVES_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -85,8 +86,23 @@ class Communicator
     /** log2 rounds, rounded up. */
     unsigned rounds() const;
 
-    /** Run the queue until `done` turns true (panics on stall). */
-    void runUntil(const bool &done);
+    /**
+     * Advance the machine (classic step or partitioned window) until
+     * `done()` turns true; panics on stall. The predicate runs on the
+     * driving thread between pump() calls, where reading every rank's
+     * state is safe — mid-window, each rank's callbacks touch only
+     * that rank's entry, which lives in its node's home partition.
+     */
+    void runUntil(const std::function<bool()> &done);
+
+    /**
+     * Drain trailing ACK handshakes and wires after an operation and
+     * audit conservation, so the next operation starts from a fully
+     * quiescent machine — that is what makes its start time (and so
+     * every reported duration) independent of the kernel's thread
+     * count.
+     */
+    void drain();
 };
 
 } // namespace pm::msg

@@ -89,10 +89,18 @@ PmComm::PmComm(System &sys, unsigned nodeId, unsigned cpu, unsigned net,
     _stats.add(&deliveryFailures);
     sys.addResettable(this);
     sys.health().add(this);
+    // Wake the engine when receive work appears while it is dormant
+    // (no posted receives, nothing unacked): a late retransmit or
+    // delayed ACK must still be drained, or the incoming link wedges.
+    // While the engine is scheduled — always, during active traffic —
+    // this kick is a no-op, so the event stream of a busy run does not
+    // change.
+    _ni.onRecvActivity([this] { kick(); });
 }
 
 PmComm::~PmComm()
 {
+    _ni.onRecvActivity(sim::EventFn());
     _sys.health().remove(this);
     _sys.removeResettable(this);
     // Harmlessly return false for events that already ran.
@@ -259,10 +267,14 @@ PmComm::classify(RxAssembly &cur)
 bool
 PmComm::serviceRecv()
 {
-    // The receive engine runs while software expects anything inbound:
-    // a posted receive, a half-drained message, or pending ACKs for
-    // unacknowledged sends.
-    if (_recvs.empty() && !_cur.haveHeader && !anyUnacked())
+    // The receive engine runs while software expects anything inbound
+    // — a posted receive, a half-drained message, or pending ACKs for
+    // unacknowledged sends — and also while the NI actually holds
+    // traffic: a duplicate retransmitted after the last posted receive
+    // completed must still be drained and re-ACKed, or the sender
+    // burns its whole retry budget against a wedged link.
+    if (_recvs.empty() && !_cur.haveHeader && !anyUnacked() &&
+        _ni.recvAvailable() == 0 && !_ni.frontMessageDrained())
         return false;
     if (!_recvs.empty() && !_recvs.front().started) {
         _recvs.front().started = true;
@@ -834,7 +846,8 @@ bool
 PmComm::workPending() const
 {
     return !_sends.empty() || !_recvs.empty() || _cur.haveHeader ||
-           anyUnacked();
+           anyUnacked() || _ni.recvAvailable() != 0 ||
+           _ni.frontMessageDrained();
 }
 
 void

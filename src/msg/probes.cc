@@ -1,5 +1,7 @@
 #include "msg/probes.hh"
 
+#include <memory>
+
 #include "sim/context.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -218,6 +220,18 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
     sys.resetForRun();
     PmComm commA(sys, a);
     PmComm commB(sys, b);
+    // Every other node runs an idle driver too: a corrupted header can
+    // misdirect a NACK or re-ACK at any plausible node id, and on the
+    // real machine the driver there drains and ignores it. With no
+    // consumer the stray words pile up in that node's NI until flow
+    // control backs the fabric up — and park words the quiescent
+    // conservation audit can no longer find. Idle drivers schedule no
+    // events; the NI's receive-activity wake-up revives them only when
+    // traffic actually arrives.
+    std::vector<std::unique_ptr<PmComm>> bystanders;
+    for (unsigned n = 0; n < sys.numNodes(); ++n)
+        if (n != a && n != b)
+            bystanders.push_back(std::make_unique<PmComm>(sys, n));
 
     SoakResult res;
     commA.onDeliveryFailure([&](unsigned, std::uint64_t, unsigned) {
@@ -270,6 +284,18 @@ runDeliverySoak(System &sys, unsigned a, unsigned b,
         while ((!commA.idle() || !commB.idle() ||
                 !sys.fabric().wireQuiet()) &&
                sys.pump() != 0) {
+        }
+        if (!sys.health().watchdogEnabled()) {
+            // Finish the already-scheduled stragglers too (delayed
+            // ACK timers past the idle point), so the elapsed stamp
+            // below is identical on the classic and the partitioned
+            // kernels — stopping at first idleness leaves each kernel
+            // a different set of residual timers. A watchdog scan
+            // reschedules itself forever, so with one enabled the
+            // machine can never exhaust; stop at idle there.
+            while (sys.pump() != 0) {
+            }
+            sys.kernel().alignClocks();
         }
         sys.auditQuiescent("soak drain");
     }

@@ -13,16 +13,26 @@ System::System(const SystemParams &params)
               params.kernelThreads != 0 ? params.kernelThreads : 1),
       _health(_kernel.queue(0), _ctx)
 {
-    if (partitioned() && _p.fabric.fault != nullptr)
-        pm_fatal("system: fault injection is incompatible with the "
-                 "partitioned kernel (fault-model counters are shared "
-                 "across clusters); use kernelThreads = 0");
     // Quiet machines build quiet: the inform() gate carries over from
     // whatever context the constructing code runs under (a bench that
     // silenced inform, a sweep worker's options).
     _ctx.setInformEnabled(sim::Context::current().informEnabled());
     sim::Context::Scope scope(_ctx);
     _kernel.setContext(&_ctx);
+    // The health monitor's event census must cover every partition's
+    // queue, not just the driving one.
+    for (unsigned p = 1; p < _kernel.partitions(); ++p)
+        _health.addQueue(&_kernel.queue(p));
+    if (partitioned() && _p.fabric.fault != nullptr) {
+        // Concurrent partitions must never write the shared fault
+        // Scalars mid-window: defer into per-site accumulators (each
+        // LinkTx, and so each site, lives in exactly one partition)
+        // and fold them in at every window barrier.
+        _p.fabric.fault->setDeferred(true);
+        _faultMerge =
+            std::make_unique<FaultMergeHook>(*_p.fabric.fault);
+        _kernel.addBarrierHook(_faultMerge.get());
+    }
     _fabric = std::make_unique<net::Fabric>(_p.fabric, _kernel);
     _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
@@ -36,6 +46,13 @@ void
 System::resetForRun()
 {
     sim::Context::Scope scope(_ctx);
+    // At a full drain, line the partition clocks up first: component
+    // resets stamp their watchdog baselines with their own queue's
+    // now(), and the stamps must match the classic kernel's single
+    // clock byte-for-byte. Mid-flight resets skip this (the machine
+    // state is kernel-specific there anyway).
+    if (_kernel.empty())
+        _kernel.alignClocks();
     _fabric->reset();
     for (auto &n : _nodes) {
         n->reset();
@@ -66,8 +83,17 @@ System::sumNiWords(double &sent, double &received)
 }
 
 void
+System::FaultMergeHook::atBarrier(Tick wakeTick)
+{
+    (void)wakeTick;
+    _model.mergeSites();
+}
+
+void
 System::snapshotAuditBaselines()
 {
+    if (_p.fabric.fault != nullptr && _p.fabric.fault->deferred())
+        _p.fabric.fault->mergeSites();
     sumNiWords(_auditBaseSent, _auditBaseReceived);
     _auditBaseDropped =
         _p.fabric.fault ? _p.fabric.fault->wordsDropped.value() : 0.0;
@@ -79,6 +105,8 @@ System::auditQuiescent(const char *where)
     if (!_health.auditsEnabled())
         return;
     sim::Context::Scope scope(_ctx);
+    if (_p.fabric.fault != nullptr && _p.fabric.fault->deferred())
+        _p.fabric.fault->mergeSites();
     double sent = 0.0;
     double received = 0.0;
     sumNiWords(sent, received);

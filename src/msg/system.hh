@@ -35,9 +35,11 @@ struct SystemParams
      * synchronized in lookahead windows. Byte-identical results for
      * any thread count, including 1. A single-cluster fabric needs
      * only one partition and so behaves classically either way.
-     * Incompatible with fault injection (shared fault-model counters)
-     * and with the collective/EARTH layers (cross-node shared state);
-     * those combinations are rejected at construction.
+     * Fault injection, collectives, and the EARTH runtime all run on
+     * the partitioned kernel: fault counters defer into per-site
+     * accumulators merged at window barriers, collectives keep only
+     * per-rank state advanced by message callbacks, and each EARTH
+     * node's EU homes on queueFor(node) (DESIGN.md §12).
      */
     unsigned kernelThreads = 0;
 };
@@ -165,10 +167,32 @@ class System
     }
 
   private:
+    /**
+     * Window-barrier hook that folds the fault model's per-site
+     * deferred counters into the shared "fault" stats group. Barrier
+     * hooks run on the driving thread with all partitions quiescent,
+     * and after every window that executes events — so any read that
+     * happens between pump() calls (audits, --stats dumps, tests)
+     * sees complete totals.
+     */
+    class FaultMergeHook final : public sim::Partitioned::BarrierHook
+    {
+      public:
+        explicit FaultMergeHook(sim::FaultModel &model)
+            : _model(model)
+        {
+        }
+        void atBarrier(Tick wakeTick) override;
+
+      private:
+        sim::FaultModel &_model;
+    };
+
     SystemParams _p;
     sim::Context _ctx;
     sim::Partitioned _kernel;
     sim::health::Monitor _health;
+    std::unique_ptr<FaultMergeHook> _faultMerge;
     std::unique_ptr<net::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;

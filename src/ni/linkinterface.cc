@@ -243,10 +243,17 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
                      ni._p.fifoWords, ni._staged.has_value() ? 1 : 0);
         if (ni._staged) {
             // The previously staged word is confirmed payload.
+            const bool wasEmpty = ni._recvFifo.empty();
             ni._crcRx.update(*ni._staged);
             ni._recvFifo.push_back(*ni._staged);
             ++ni.wordsReceived;
             ++ni._rxMsgWords;
+            // A word just became readable in an empty FIFO: wake the
+            // driver in case its engine went dormant (a late
+            // retransmit after the last posted receive must still be
+            // drained, or it wedges the link).
+            if (wasEmpty && ni._recvActivity)
+                ni._recvActivity();
         }
         ni._staged = sym.data;
         break;
@@ -278,6 +285,8 @@ LinkInterface::RxPort::push(const net::Symbol &sym, Tick)
                  ni._p.name.c_str(), (unsigned long long)ni._messages,
                  ok ? "ok" : "BAD");
         ni.notifyRxSpace();
+        if (ni._recvActivity)
+            ni._recvActivity();
         break;
       }
     }

@@ -107,6 +107,16 @@ class LinkInterface : public sim::health::Reporter
      */
     RecvMsgInfo consumeMessage();
 
+    /**
+     * Notify the driver when receive-side work appears: a payload word
+     * becoming readable in an empty FIFO, or a message completing.
+     * One slot (the owning driver), overwritten by the next owner and
+     * cleared by the owner's destructor — wiring, not run state, so it
+     * survives reset(). Fired from the NI's own delivery events, i.e.
+     * always in this node's home partition.
+     */
+    void onRecvActivity(sim::EventFn cb) { _recvActivity = std::move(cb); }
+
     /** Drop all buffered state (between experiment runs). */
     void reset();
 
@@ -188,6 +198,7 @@ class LinkInterface : public sim::health::Reporter
     std::deque<RecvMsgInfo> _completed; //!< Oldest-first verdicts.
     std::uint64_t _drained = 0; //!< Popped words of the oldest message.
     std::uint64_t _rxMsgWords = 0; //!< Words of the in-progress message.
+    sim::EventFn _recvActivity; //!< Driver wake-up (see onRecvActivity).
     std::vector<sim::EventFn> _rxSpaceCbs;
 
     void schedulePump();

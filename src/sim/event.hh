@@ -247,6 +247,18 @@ class EventQueue
     Tick now() const { return _now; }
 
     /**
+     * Advance the idle clock to `t` (forward only; no events run).
+     * Only meaningful on an empty queue — Partitioned::alignClocks()
+     * uses it to line the partition clocks up at a full drain.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > _now)
+            _now = t;
+    }
+
+    /**
      * Schedule a callback at an absolute tick.
      *
      * [[nodiscard]]: silently dropping the handle is almost always a

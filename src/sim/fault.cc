@@ -1,7 +1,9 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sim/logging.hh"
 #include "sim/trace.hh"
 
 namespace pm::sim {
@@ -28,6 +30,39 @@ matches(const std::string &pattern, const std::string &name)
     return pattern == name;
 }
 
+/**
+ * Reject inverted and overlapping down windows up front: an inverted
+ * window would silently never fire, and overlaps double-count the
+ * downtime accounting. Touching windows ({100,200},{200,300}) stay
+ * legal — upAt() chases through them as one block.
+ */
+void
+validateWindows(const std::vector<FaultWindow> &down,
+                const std::string &where)
+{
+    for (const auto &w : down)
+        if (w.to <= w.from)
+            pm_fatal("fault: %s: link-down window [%llu, %llu) is "
+                     "inverted or empty (need to > from)",
+                     where.c_str(), (unsigned long long)w.from,
+                     (unsigned long long)w.to);
+    std::vector<FaultWindow> sorted = down;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FaultWindow &a, const FaultWindow &b) {
+                  return a.from < b.from;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i].from < sorted[i - 1].to)
+            pm_fatal("fault: %s: link-down windows [%llu, %llu) and "
+                     "[%llu, %llu) overlap (merge them or make them "
+                     "adjacent)",
+                     where.c_str(),
+                     (unsigned long long)sorted[i - 1].from,
+                     (unsigned long long)sorted[i - 1].to,
+                     (unsigned long long)sorted[i].from,
+                     (unsigned long long)sorted[i].to);
+}
+
 } // namespace
 
 // ---- FaultSite. ---------------------------------------------------------
@@ -39,6 +74,7 @@ FaultSite::FaultSite(FaultModel &model, std::string name, FaultConfig cfg,
       _cfg(std::move(cfg)),
       _rng(seed)
 {
+    validateWindows(_cfg.down, "site " + _name);
     // One uniform draw decides "any of the 64 bits flipped"; which
     // bit(s) is a follow-up draw. Equivalent to 64 Bernoulli trials
     // but perturbs the stream far less.
@@ -50,16 +86,25 @@ bool
 FaultSite::filterWord(std::uint64_t &word)
 {
     if (_cfg.drop > 0.0 && _rng.chance(_cfg.drop)) {
-        ++_model.wordsDropped;
+        if (_model.deferred())
+            _wordsDropped += 1.0;
+        else
+            ++_model.wordsDropped;
         pm_trace(0, "fault", "%s: dropped word %016llx", _name.c_str(),
                  (unsigned long long)word);
         return true;
     }
     if (_pAnyFlip > 0.0 && _rng.chance(_pAnyFlip)) {
-        ++_model.wordsCorrupted;
+        if (_model.deferred())
+            _wordsCorrupted += 1.0;
+        else
+            ++_model.wordsCorrupted;
         do {
             word ^= 1ull << _rng.below(64);
-            ++_model.bitsFlipped;
+            if (_model.deferred())
+                _bitsFlipped += 1.0;
+            else
+                ++_model.bitsFlipped;
         } while (_rng.chance(_pAnyFlip)); // rare multi-bit hit
         pm_trace(0, "fault", "%s: corrupted word -> %016llx",
                  _name.c_str(), (unsigned long long)word);
@@ -85,8 +130,13 @@ FaultSite::upAt(Tick now)
         // Count each (site, window) block once, from the first
         // attempt that ran into it.
         _lastBlockEnd = up;
-        ++_model.downStalls;
-        _model.linkDowntime.inc(static_cast<double>(up - now));
+        if (_model.deferred()) {
+            _downStalls += 1.0;
+            _downTicks += static_cast<double>(up - now);
+        } else {
+            ++_model.downStalls;
+            _model.linkDowntime.inc(static_cast<double>(up - now));
+        }
         pm_trace(now, "fault", "%s: link down until %llu", _name.c_str(),
                  (unsigned long long)up);
     }
@@ -108,6 +158,7 @@ FaultModel::FaultModel(std::uint64_t seed)
 void
 FaultModel::configure(std::string pattern, FaultConfig cfg)
 {
+    validateWindows(cfg.down, "override '" + pattern + "'");
     _overrides.emplace_back(std::move(pattern), std::move(cfg));
 }
 
@@ -126,6 +177,25 @@ FaultModel::site(const std::string &name)
     FaultSite *raw = made.get();
     _sites.emplace(name, std::move(made));
     return raw;
+}
+
+void
+FaultModel::mergeSites()
+{
+    for (auto &[name, owned] : _sites) {
+        (void)name;
+        FaultSite &s = *owned;
+        wordsCorrupted.inc(s._wordsCorrupted);
+        bitsFlipped.inc(s._bitsFlipped);
+        wordsDropped.inc(s._wordsDropped);
+        downStalls.inc(s._downStalls);
+        linkDowntime.inc(s._downTicks);
+        s._wordsCorrupted = 0.0;
+        s._bitsFlipped = 0.0;
+        s._wordsDropped = 0.0;
+        s._downStalls = 0.0;
+        s._downTicks = 0.0;
+    }
 }
 
 bool

@@ -233,6 +233,14 @@ class Monitor
     Monitor(const Monitor &) = delete;
     Monitor &operator=(const Monitor &) = delete;
 
+    /**
+     * Register an additional partition event queue: the census line
+     * in dump() aggregates over all queues, and the slab audit checks
+     * each one. The primary queue (the constructor's) keeps driving
+     * the watchdog schedule.
+     */
+    void addQueue(EventQueue *queue) { _auxQueues.push_back(queue); }
+
     /** Register a reporter (scanned/audited/dumped in this order). */
     void add(Reporter *reporter);
 
@@ -286,6 +294,7 @@ class Monitor
 
     EventQueue &_queue;
     Context &_context;
+    std::vector<EventQueue *> _auxQueues;
     std::vector<Reporter *> _reporters;
     Tick _interval = 0;
     Tick _deadline = 0;

@@ -133,6 +133,17 @@ Partitioned::Partitioned(unsigned partitions, unsigned threads)
 Partitioned::~Partitioned() = default;
 
 void
+Partitioned::alignClocks()
+{
+    if (!empty())
+        pm_fatal("partitioned kernel: alignClocks() with events still "
+                 "pending (drain to exhaustion first)");
+    const Tick t = maxNow();
+    for (auto &q : _queues)
+        q->advanceTo(t);
+}
+
+void
 Partitioned::post(unsigned src, unsigned dst, Tick when, EventFn fn)
 {
     pm_assert(src < partitions() && dst < partitions(),

@@ -176,6 +176,17 @@ class Partitioned
         return t;
     }
 
+    /**
+     * On a fully drained kernel, advance every partition clock to the
+     * global maximum. Each partition's clock stops at its own last
+     * event while the classic kernel's single clock stops at the
+     * globally last one; aligning at the drain point makes anything
+     * the driving thread schedules next anchor at the same tick at
+     * any thread count — and on the classic kernel. Fatal if events
+     * are still pending anywhere.
+     */
+    void alignClocks();
+
     /** Windows executed over the kernel's lifetime (tests/benches). */
     std::uint64_t windows() const { return _windows; }
 

@@ -345,4 +345,56 @@ TEST(Reliability, TwoFaultyRunsWithTheSameSeedAreIdentical)
     EXPECT_EQ(first.find("retrans=0 "), std::string::npos);
 }
 
+// ---- Link-down window validation. ----------------------------------------
+
+TEST(FaultWindowDeath, InvertedWindowIsRejectedAtConfigureTime)
+{
+    sim::FaultModel fault;
+    sim::FaultConfig cfg;
+    cfg.down.push_back({200, 100});
+    EXPECT_DEATH(fault.configure("ni.n0*", cfg),
+                 "inverted or empty");
+}
+
+TEST(FaultWindowDeath, EmptyWindowIsRejectedAtConfigureTime)
+{
+    sim::FaultModel fault;
+    sim::FaultConfig cfg;
+    cfg.down.push_back({100, 100});
+    EXPECT_DEATH(fault.configure("ni.n0*", cfg),
+                 "inverted or empty");
+}
+
+TEST(FaultWindowDeath, OverlappingWindowsAreRejectedAtConfigureTime)
+{
+    sim::FaultModel fault;
+    sim::FaultConfig cfg;
+    cfg.down.push_back({100, 300});
+    cfg.down.push_back({200, 400});
+    EXPECT_DEATH(fault.configure("ni.n0*", cfg), "overlap");
+}
+
+TEST(FaultWindowDeath, BadDefaultsAreRejectedAtSiteCreation)
+{
+    // Defaults are only validated when a site materialises from them
+    // — exercised here directly rather than through a whole System.
+    sim::FaultModel fault;
+    fault.defaults.down.push_back({300, 100});
+    EXPECT_DEATH(fault.site("wire.x"), "inverted or empty");
+}
+
+TEST(FaultWindow, TouchingWindowsAreLegal)
+{
+    // {100,200} and {200,300} abut without overlapping: upAt() chases
+    // through them as one contiguous block.
+    sim::FaultModel fault;
+    sim::FaultConfig cfg;
+    cfg.down.push_back({200, 300});
+    cfg.down.push_back({100, 200});
+    fault.configure("wire.y", cfg);
+    sim::FaultSite *site = fault.site("wire.y");
+    ASSERT_NE(site, nullptr);
+    EXPECT_EQ(site->upAt(150), Tick(300));
+}
+
 } // namespace

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Partition-awareness tests for the three subsystems that used to
+ * reject `kernelThreads > 0` outright: fault injection, collectives,
+ * and the EARTH runtime. The bar is the same byte-identity contract
+ * partition_test.cpp enforces for the plain message layer — every
+ * observable (probe rows, counters, stats dumps, forensic dumps,
+ * peer-death reports) must match between the classic kernel and the
+ * partitioned kernel at any worker-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "earth/runtime.hh"
+#include "machines/machines.hh"
+#include "msg/collectives.hh"
+#include "msg/probes.hh"
+#include "msg/system.hh"
+#include "sim/context.hh"
+#include "sim/fault.hh"
+
+namespace {
+
+using namespace pm;
+
+/** A 2x2 PowerMANNA machine: two clusters, so the partitioned build
+ *  runs three partitions (two clusters + hub). */
+msg::SystemParams
+fabricParams(unsigned clusters, unsigned kernelThreads)
+{
+    msg::SystemParams sp;
+    sp.node = machines::powerManna();
+    sp.fabric = machines::powerMannaFabric(clusters, 2);
+    sp.kernelThreads = kernelThreads;
+    return sp;
+}
+
+/** Pump the machine to full exhaustion so every pending event (ACK
+ *  timers, polls) has executed: at pump() == 0 the classic and the
+ *  partitioned kernels have run the exact same event set. */
+void
+drainCompletely(msg::System &sys)
+{
+    sim::Context::Scope scope(sys.context());
+    while (sys.pump() != 0) {
+    }
+    sys.kernel().alignClocks();
+}
+
+// ---- Fault injection on the partitioned kernel. ---------------------------
+
+/**
+ * A faulty cross-cluster soak plus every observable: soak counters, a
+ * latency probe row, the fault model's stats, endpoint NI stats, and
+ * the full forensic dump. BER and drop faults ride the defaults; one
+ * uplink transceiver additionally goes down for a window mid-soak, so
+ * the link-down stall path (and its generation-voided wakeups) runs
+ * across a partition boundary too.
+ */
+std::string
+faultySweepFingerprint(unsigned kernelThreads)
+{
+    sim::FaultModel fault(4242);
+    fault.defaults.ber = 1e-4;
+    fault.defaults.drop = 2e-5;
+    sim::FaultConfig flaky = fault.defaults;
+    flaky.down.push_back({40000, 90000});
+    fault.configure("xcvr.up.c0.u0*", flaky);
+    msg::SystemParams sp = fabricParams(2, kernelThreads);
+    sp.fabric.fault = &fault;
+    msg::System sys(sp);
+
+    std::ostringstream os;
+    const auto soak = msg::runDeliverySoak(sys, 0, 2, 128, 120);
+    os << "delivered=" << soak.delivered << " intact=" << soak.intact
+       << " us=" << soak.elapsedUs << " retrans=" << soak.retransmits
+       << " crc=" << soak.crcDrops << " dup=" << soak.duplicateDiscards
+       << " ooo=" << soak.outOfOrderDiscards << " to=" << soak.timeouts
+       << " acks=" << soak.acksSent << " nacks=" << soak.nacksSent
+       << "\n";
+    os << "lat=" << msg::measureOneWayLatencyUs(sys, 1, 3, 64, 4)
+       << "\n";
+    drainCompletely(sys);
+    os << "now=" << sys.simNow() << "\n";
+    fault.stats().dump(os);
+    sys.ni(0).stats().dump(os);
+    sys.ni(2).stats().dump(os);
+    {
+        sim::Context::Scope scope(sys.context());
+        sim::Context::current().runDumpHooks(os);
+    }
+    return os.str();
+}
+
+TEST(FaultPartition, TwoFaultyPartitionedRunsAreByteIdentical)
+{
+    const std::string first = faultySweepFingerprint(4);
+    const std::string second = faultySweepFingerprint(4);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+/**
+ * The dump's event-census line counts engine bookkeeping (window
+ * wakeups, mailbox flushes) that only the partitioned kernel
+ * schedules: it is thread-count-invariant but necessarily differs
+ * between the two engines. Blank it for cross-kernel compares; every
+ * line describing the simulated machine must still match.
+ */
+std::string
+stripEngineCensus(std::string dump)
+{
+    const std::size_t at = dump.find("event queue: pending=");
+    if (at == std::string::npos)
+        return dump;
+    const std::size_t end = dump.find('\n', at);
+    return dump.replace(at, end - at, "event queue: <engine>");
+}
+
+TEST(FaultPartition, FaultyRunsMatchClassicByteForByte)
+{
+    // Probe rows AND forensic dumps: the deferred per-site counters
+    // must merge into stats that are indistinguishable from the
+    // classic kernel's direct increments.
+    const std::string classic = faultySweepFingerprint(0);
+    const std::string one = faultySweepFingerprint(1);
+    const std::string four = faultySweepFingerprint(4);
+    EXPECT_FALSE(classic.empty());
+    EXPECT_EQ(one, four); // raw: same engine, any thread count
+    EXPECT_EQ(stripEngineCensus(classic), stripEngineCensus(one));
+    EXPECT_EQ(stripEngineCensus(classic), stripEngineCensus(four));
+    EXPECT_NE(classic.find("words_corrupted"), std::string::npos);
+}
+
+TEST(FaultPartition, DeferredCountersAreMergedBeforeStatsReads)
+{
+    // The soak's quiescence audit reads the fault stats mid-lifetime;
+    // a partitioned run must have folded the per-site accumulators in
+    // by then, not left them pending until destruction.
+    sim::FaultModel fault(99);
+    fault.defaults.ber = 1e-4;
+    msg::SystemParams sp = fabricParams(2, 4);
+    sp.fabric.fault = &fault;
+    msg::System sys(sp);
+    ASSERT_TRUE(fault.deferred());
+
+    const auto soak = msg::runDeliverySoak(sys, 0, 3, 128, 60);
+    EXPECT_EQ(soak.delivered, 60u);
+    EXPECT_TRUE(soak.intact);
+    // At this BER the soak must have seen corruption, and the merged
+    // scalars must already show it.
+    EXPECT_GT(fault.wordsCorrupted.value(), 0.0);
+    EXPECT_GT(fault.bitsFlipped.value(), 0.0);
+}
+
+// ---- Collectives on the partitioned kernel. -------------------------------
+
+/** Every collective op once, durations and results. */
+std::string
+collectiveFingerprint(unsigned kernelThreads)
+{
+    msg::System sys(fabricParams(2, kernelThreads));
+    msg::Communicator comm(sys, {0, 1, 2, 3});
+
+    std::ostringstream os;
+    os << "barrier=" << comm.barrier();
+    os << " bcast=" << comm.broadcast(1, {0xDEADBEEFull, 42, 7});
+    std::vector<std::uint64_t> sum;
+    os << " reduce="
+       << comm.reduceSum(0, {{1, 10}, {2, 20}, {3, 30}, {4, 40}}, sum);
+    os << " sum=" << sum[0] << "," << sum[1];
+    std::vector<std::uint64_t> all;
+    os << " allreduce="
+       << comm.allReduceSum({{5}, {6}, {7}, {8}}, all);
+    os << " allsum=" << all[0];
+    return os.str();
+}
+
+TEST(CollectivesPartition, ResultsAndTimingsMatchClassic)
+{
+    const std::string classic = collectiveFingerprint(0);
+    const std::string one = collectiveFingerprint(1);
+    const std::string four = collectiveFingerprint(4);
+    EXPECT_EQ(classic, one);
+    EXPECT_EQ(classic, four);
+    // Sanity on the actual arithmetic, not just the byte-compare.
+    EXPECT_NE(classic.find("sum=10,100"), std::string::npos) << classic;
+    EXPECT_NE(classic.find("allsum=26"), std::string::npos) << classic;
+}
+
+TEST(CollectivesPartition, TwoPartitionedRunsAreByteIdentical)
+{
+    EXPECT_EQ(collectiveFingerprint(4), collectiveFingerprint(4));
+}
+
+// ---- EARTH on the partitioned kernel. -------------------------------------
+
+/**
+ * A healthy EARTH workload spanning both clusters: remote invokes,
+ * split-phase puts/gets, and local fibers. Fingerprints the run
+ * duration, the fetched values, and every node's counters.
+ */
+std::string
+earthCrossClusterFingerprint(unsigned kernelThreads)
+{
+    msg::System sys(fabricParams(2, kernelThreads));
+    earth::Runtime rt(sys);
+
+    // Node 0 (cluster 0) gets from node 3 (cluster 1); node 2 puts to
+    // node 1 across the boundary; node 3 invokes a function on 0.
+    rt.registerFunction(1, [](earth::NodeRt &self,
+                              const std::vector<std::uint64_t> &args) {
+        self.storeLocal(0x500, args.at(0) * 2);
+    });
+    rt.node(3).storeLocal(0x100, 777);
+
+    std::uint64_t fetched = 0;
+    bool getDone = false, putDone = false;
+    const earth::SlotRef gslot =
+        rt.node(0).makeSlot(1, [&](earth::NodeRt &) { getDone = true; });
+    rt.node(0).spawnLocal([&, gslot](earth::NodeRt &self) {
+        self.getRemote(3, 0x100, &fetched, gslot);
+    });
+    const earth::SlotRef pslot =
+        rt.node(2).makeSlot(1, [&](earth::NodeRt &) { putDone = true; });
+    rt.node(2).spawnLocal([&, pslot](earth::NodeRt &self) {
+        self.putRemote(1, 0x200, 4242, pslot);
+    });
+    rt.node(3).spawnLocal([](earth::NodeRt &self) {
+        self.invokeRemote(0, 1, {21});
+    });
+
+    const Tick t = rt.run();
+    EXPECT_TRUE(getDone);
+    EXPECT_TRUE(putDone);
+
+    std::ostringstream os;
+    os << "t=" << t << " fetched=" << fetched
+       << " put=" << rt.node(1).loadLocal(0x200)
+       << " invoked=" << rt.node(0).loadLocal(0x500) << "\n";
+    for (unsigned n = 0; n < rt.numNodes(); ++n)
+        os << "n" << n << " fibers=" << rt.node(n).fibersRun.value()
+           << " syncs=" << rt.node(n).syncsHandled.value()
+           << " remote=" << rt.node(n).remoteOps.value() << "\n";
+    return os.str();
+}
+
+TEST(EarthPartition, CrossClusterWorkloadMatchesClassic)
+{
+    const std::string classic = earthCrossClusterFingerprint(0);
+    const std::string one = earthCrossClusterFingerprint(1);
+    const std::string four = earthCrossClusterFingerprint(4);
+    EXPECT_EQ(classic, one);
+    EXPECT_EQ(classic, four);
+    EXPECT_NE(classic.find("fetched=777"), std::string::npos) << classic;
+    EXPECT_NE(classic.find("put=4242"), std::string::npos) << classic;
+    EXPECT_NE(classic.find("invoked=42"), std::string::npos) << classic;
+}
+
+/**
+ * The peer-death soak: node 3 (cluster 1) is unreachable for good, so
+ * node 0 (cluster 0) discovers the death *across a partition
+ * boundary*. The survivors — including node 2 in the dead node's own
+ * partition — must keep exactly-once delivery through the failure and
+ * through a second post-death round.
+ */
+std::string
+earthPeerDeathOutcome(unsigned kernelThreads)
+{
+    // Node 3 is dead: everything it sends and everything sent to it
+    // vanishes. Drops (not down-windows) so the shared downlink into
+    // cluster 1 keeps draining — a permanently-down crossbar port
+    // would head-of-line-block the survivors' traffic behind the dead
+    // node's, which is a network partition, not a node death.
+    sim::FaultModel fault(5);
+    sim::FaultConfig dead;
+    dead.drop = 1.0;
+    fault.configure("xbar.c1.net0.out1", dead); // node 3's inbound port
+    fault.configure("ni.n3.net0.tx", dead);
+    msg::SystemParams sp = fabricParams(2, kernelThreads);
+    sp.fabric.fault = &fault;
+    msg::System sys(sp);
+
+    earth::EarthCosts costs;
+    costs.driver.retransBase = 2000; // fail fast: the test waits on it
+    costs.driver.maxRetries = 2;
+    earth::Runtime rt(sys, costs);
+
+    std::vector<std::pair<unsigned, unsigned>> deaths;
+    rt.onPeerDeath([&](unsigned node, unsigned dead) {
+        deaths.emplace_back(node, dead);
+    });
+
+    // Node 0 GETs from the doomed node; the value can never arrive.
+    std::uint64_t fetched = 0xABCD;
+    bool getFired = false;
+    const earth::SlotRef slot0 =
+        rt.node(0).makeSlot(1, [&](earth::NodeRt &) { getFired = true; });
+    rt.node(0).spawnLocal([&, slot0](earth::NodeRt &self) {
+        self.getRemote(3, 0x10, &fetched, slot0);
+    });
+
+    // Survivors exchange cross-cluster split-phase stores meanwhile.
+    bool put1Done = false, put2Done = false;
+    const earth::SlotRef slot1 =
+        rt.node(1).makeSlot(1, [&](earth::NodeRt &) { put1Done = true; });
+    rt.node(1).spawnLocal([&, slot1](earth::NodeRt &self) {
+        self.putRemote(2, 0x20, 111, slot1);
+    });
+    const earth::SlotRef slot2 =
+        rt.node(2).makeSlot(1, [&](earth::NodeRt &) { put2Done = true; });
+    rt.node(2).spawnLocal([&, slot2](earth::NodeRt &self) {
+        self.putRemote(1, 0x30, 222, slot2);
+    });
+
+    rt.run();
+    EXPECT_TRUE(put1Done);
+    EXPECT_TRUE(put2Done);
+    EXPECT_FALSE(getFired);
+    EXPECT_EQ(fetched, 0xABCDu);
+
+    // Post-death round: the degraded machine still delivers
+    // exactly-once among the survivors.
+    bool roundTwo = false;
+    const earth::SlotRef slot3 =
+        rt.node(2).makeSlot(1, [&](earth::NodeRt &) { roundTwo = true; });
+    rt.node(2).spawnLocal([&, slot3](earth::NodeRt &self) {
+        self.putRemote(0, 0x40, 333, slot3);
+    });
+    rt.run();
+    EXPECT_TRUE(roundTwo);
+
+    std::ostringstream os;
+    os << "dead=";
+    for (unsigned d : rt.deadPeers())
+        os << d << ",";
+    os << " reports=";
+    for (const auto &[n, d] : deaths)
+        os << n << ":" << d << ",";
+    os << " getsFailed=" << rt.node(0).getsFailed.value()
+       << " v20=" << rt.node(2).loadLocal(0x20)
+       << " v30=" << rt.node(1).loadLocal(0x30)
+       << " v40=" << rt.node(0).loadLocal(0x40) << "\n";
+    for (unsigned n = 0; n < rt.numNodes(); ++n)
+        os << "n" << n << " fibers=" << rt.node(n).fibersRun.value()
+           << " syncs=" << rt.node(n).syncsHandled.value()
+           << " remote=" << rt.node(n).remoteOps.value() << "\n";
+    return os.str();
+}
+
+TEST(EarthPartition, CrossPartitionPeerDeathDegradesIdentically)
+{
+    const std::string classic = earthPeerDeathOutcome(0);
+    const std::string four = earthPeerDeathOutcome(4);
+    EXPECT_EQ(classic, four);
+    EXPECT_NE(classic.find("dead=3,"), std::string::npos) << classic;
+    EXPECT_NE(classic.find("reports=0:3,"), std::string::npos)
+        << classic;
+    EXPECT_NE(classic.find("getsFailed=1"), std::string::npos)
+        << classic;
+    EXPECT_NE(classic.find("v40=333"), std::string::npos) << classic;
+}
+
+TEST(EarthPartition, TwoPeerDeathRunsAreByteIdentical)
+{
+    EXPECT_EQ(earthPeerDeathOutcome(4), earthPeerDeathOutcome(4));
+}
+
+} // namespace

@@ -21,7 +21,6 @@
 #include "msg/probes.hh"
 #include "msg/system.hh"
 #include "sim/context.hh"
-#include "sim/fault.hh"
 #include "sim/partition.hh"
 
 namespace {
@@ -252,17 +251,6 @@ TEST(Partition, BandwidthProbesAreThreadCountInvariant)
             msg::measureBidirectionalMBps(four, 1, 3, bytes, 8);
         EXPECT_EQ(biOne, biFour) << "bi " << bytes;
     }
-}
-
-TEST(Partition, FaultInjectionIsRejectedOnPartitionedKernels)
-{
-    // FaultModel counters are shared across every FaultSite; two
-    // partitions mutating them concurrently would race, so the System
-    // refuses the combination outright.
-    msg::SystemParams sp = fabricParams(2, 2);
-    sim::FaultModel fault;
-    sp.fabric.fault = &fault;
-    EXPECT_DEATH(msg::System sys(sp), "fault injection");
 }
 
 } // namespace

@@ -1,0 +1,21 @@
+/**
+ * Fixture: non-atomic mutable member (partition-shared). A const
+ * method can run from whichever partition holds a reference; a plain
+ * mutable member written there is a data race the type system no
+ * longer flags.
+ */
+
+#include <cstdint>
+
+namespace pm::sim {
+
+class Telemetry
+{
+  public:
+    std::uint64_t reads() const { return ++_reads; }
+
+  private:
+    mutable std::uint64_t _reads = 0;
+};
+
+} // namespace pm::sim

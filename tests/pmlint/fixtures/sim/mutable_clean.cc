@@ -1,0 +1,35 @@
+/**
+ * Fixture: the three legal shapes of `mutable` — std::atomic members
+ * (safe from any partition), an annotated single-partition member,
+ * and a mutable lambda (not a member at all).
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace pm::sim {
+
+class Counter
+{
+  public:
+    std::uint64_t
+    reads() const
+    {
+        return _reads.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<std::uint64_t> _reads{0};
+    // pmlint: partition-ok(written only by the owning LinkTx's partition)
+    mutable double _deferred = 0.0;
+};
+
+int
+drain()
+{
+    int n = 0;
+    auto step = [n]() mutable { return ++n; };
+    return step();
+}
+
+} // namespace pm::sim

@@ -81,7 +81,7 @@ TEST(PmLint, EverySeededRuleIsDetected)
          {"[banned-ident]", "[unordered-iter]", "[std-function]",
           "[include-guard]", "[no-iostream]", "[no-raw-abort]",
           "[assert-side-effect]", "[annotation]",
-          "[no-static-mutable]"})
+          "[no-static-mutable]", "[partition-shared]"})
         EXPECT_NE(res.output.find(rule), std::string::npos)
             << "rule never fired on fixtures: " << rule;
 }

@@ -384,6 +384,7 @@ annotationRules()
         {"guard-ok", "include-guard"},
         {"abort-ok", "no-raw-abort"},
         {"static-ok", "no-static-mutable"},
+        {"partition-ok", "partition-shared"},
     };
     return kMap;
 }

@@ -304,6 +304,37 @@ checkStaticMutable(const SourceFile &f, Diags &out)
     }
 }
 
+void
+checkMutableMember(const SourceFile &f, Diags &out)
+{
+    // A `mutable` member is shared-state bait on the partitioned
+    // kernel: const methods run from whichever partition holds a
+    // reference, and a non-atomic mutable member written there is a
+    // data race the type system no longer flags (it was the exact
+    // shape of the shared FaultModel counters). Require std::atomic,
+    // or an annotation naming why the member is confined to one
+    // partition. The `mutable` of a lambda is not a member — its
+    // previous token is the ')' of the capture-parameter list.
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "mutable"))
+            continue;
+        if (i > 0 && isPunct(toks[i - 1], ")"))
+            continue; // lambda mutable
+        std::size_t j = i + 1;
+        if (j + 1 < toks.size() && isIdent(toks[j], "std") &&
+            isPunct(toks[j + 1], "::"))
+            j += 2;
+        if (j < toks.size() && isIdent(toks[j], "atomic"))
+            continue;
+        emit(out, f, toks[i].line, "partition-shared",
+             "non-atomic mutable member can be written from a const "
+             "method on any partition; make it std::atomic, or "
+             "annotate '// pmlint: partition-ok(<reason>)' stating "
+             "which partition owns it");
+    }
+}
+
 // ---- R3a: include-guard naming. ---------------------------------------
 
 std::string
@@ -453,7 +484,7 @@ checkAnnotations(const SourceFile &f, Diags &out)
                  "'; expected '<name>-ok(<non-empty reason>)' with "
                  "name one of banned-ok, unordered-ok, function-ok, "
                  "assert-ok, iostream-ok, guard-ok, abort-ok, "
-                 "static-ok"});
+                 "static-ok, partition-ok"});
     }
 }
 
@@ -467,6 +498,7 @@ checkFile(const SourceFile &f)
     checkUnorderedIteration(f, out);
     checkStdFunction(f, out);
     checkStaticMutable(f, out);
+    checkMutableMember(f, out);
     checkIncludeGuard(f, out);
     checkIostream(f, out);
     checkRawAbort(f, out);

@@ -277,10 +277,6 @@ parseCommCfg(const Args &args)
         if (cfg.watchdog)
             pm_fatal("--kernel-threads is incompatible with --watchdog "
                      "(the watchdog tracks progress on one queue)");
-        if (cfg.ber != 0.0 || cfg.drop != 0.0 || cfg.haveLinkDown)
-            pm_fatal("--kernel-threads is incompatible with fault "
-                     "injection (fault-model counters are shared "
-                     "across clusters)");
     }
     cfg.src = args.num("src", 0);
     cfg.dst = args.num("dst", 1);
@@ -508,7 +504,8 @@ usage()
                  "       [--watchdog US] [--watchdog-deadline US]\n"
                  "       [--dump-file PATH] [--stats]\n"
                  "       [--kernel-threads N]  (partitioned parallel\n"
-                 "         event kernel; byte-identical for any N)\n"
+                 "         event kernel; byte-identical for any N,\n"
+                 "         composes with --fault-*)\n"
                  "       [--sweep AXIS=LO:HI:STEP] [--jobs N]\n"
                  "         AXIS: bytes|count|nodes|clusters|fifo|ber;\n"
                  "         STEP: additive, or *F for a factor\n"
