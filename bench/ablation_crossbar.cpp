@@ -26,7 +26,7 @@
 #include "machines/machines.hh"
 #include "msg/probes.hh"
 #include "msg/system.hh"
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "sim/event.hh"
 #include "sim/logging.hh"
 #include "sweep_support.hh"
@@ -74,12 +74,12 @@ std::string
 pathLengths()
 {
     sim::EventQueue queue;
-    net::FabricParams fp;
+    fabric::FabricParams fp;
     fp.clusters = 16;
     fp.nodesPerCluster = 8;
     fp.uplinksPerCluster = 8;
     fp.networks = 2;
-    net::Fabric fabric(fp, queue);
+    fabric::Fabric fabric(fp, queue);
 
     unsigned maxLen = 0;
     std::uint64_t pairs = 0;

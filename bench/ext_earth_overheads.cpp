@@ -93,7 +93,9 @@ getRoundTrip(msg::System &sys)
     rt.run();
     constexpr unsigned kGets = 32;
     unsigned left = kGets;
-    static std::uint64_t sink;
+    // Local, not static: rt.run() drains every get before this frame
+    // returns, and a static here would leak state across sweep points.
+    std::uint64_t sink = 0;
     std::function<void(NodeRt &)> again = [&](NodeRt &self) {
         if (left-- == 0)
             return;

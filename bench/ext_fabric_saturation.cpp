@@ -14,8 +14,8 @@
 #include <memory>
 #include <vector>
 
-#include "net/injector.hh"
-#include "net/topology.hh"
+#include "fabric/injector.hh"
+#include "fabric/topology.hh"
 #include "sim/event.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +23,7 @@ namespace {
 
 using namespace pm;
 using namespace pm::net;
+using namespace pm::fabric;
 
 void
 sweep(unsigned clusters, unsigned nodesPerCluster)

@@ -166,11 +166,13 @@ runRing(unsigned kernelThreads)
                 return false;
         return sys.fabric().wireQuiet();
     };
+    // pmlint: banned-ok(wall-clock speedup is what this bench measures)
     const auto t0 = std::chrono::steady_clock::now();
     while (!allReceived() && sys.pump() != 0) {
     }
     while (!allQuiet() && sys.pump() != 0) {
     }
+    // pmlint: banned-ok(wall-clock speedup is what this bench measures)
     const auto t1 = std::chrono::steady_clock::now();
 
     WorkloadResult res;

@@ -34,6 +34,7 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         sim::EventQueue q;
         int sink = 0;
         for (int i = 0; i < state.range(0); ++i)
+            // pmlint: capture-ok(q.run() drains before this frame unwinds)
             (void)q.schedule(static_cast<Tick>(i * 7 % 1000), [&] { ++sink; });
         q.run();
         benchmark::DoNotOptimize(sink);
@@ -58,13 +59,17 @@ BM_EventQueueCancelHeavy(benchmark::State &state)
         std::vector<EventHandle> ids;
         ids.reserve(n);
         for (int i = 0; i < n; ++i)
-            ids.push_back(
-                q.schedule(static_cast<Tick>(1000 + i), [&] { ++sink; }));
+            ids.push_back(q.schedule(
+                static_cast<Tick>(1000 + i),
+                // pmlint: capture-ok(q.run() drains before this frame unwinds)
+                [&] { ++sink; }));
         // Supersede every pending event, driver-style.
         for (int i = 0; i < n; ++i) {
             benchmark::DoNotOptimize(q.cancel(ids[i]));
-            ids[i] =
-                q.schedule(static_cast<Tick>(2000 + i), [&] { ++sink; });
+            ids[i] = q.schedule(
+                static_cast<Tick>(2000 + i),
+                // pmlint: capture-ok(q.run() drains before this frame unwinds)
+                [&] { ++sink; });
         }
         q.run();
         benchmark::DoNotOptimize(sink);
@@ -87,11 +92,13 @@ BM_EventQueuePeriodicSteadyState(benchmark::State &state)
     std::uint64_t sink = 0;
     std::function<void(int)> tickFn = [&](int i) {
         ++sink;
+        // pmlint: capture-ok(tickFn outlives the queue it is scheduled on)
         (void)q.scheduleIn(static_cast<Tick>(50 + i % 17), [&tickFn, i] {
             tickFn(i);
         });
     };
     for (int i = 0; i < components; ++i)
+        // pmlint: capture-ok(tickFn outlives the queue it is scheduled on)
         (void)q.schedule(static_cast<Tick>(i % 31), [&tickFn, i] { tickFn(i); });
     for (auto _ : state) {
         q.step();

@@ -11,8 +11,8 @@
  * which worker finished first.
  */
 
-#ifndef PM_BENCH_SWEEP_SUPPORT_HH
-#define PM_BENCH_SWEEP_SUPPORT_HH
+#ifndef PM_SWEEP_SUPPORT_HH
+#define PM_SWEEP_SUPPORT_HH
 
 #include <cstdarg>
 #include <cstdio>
@@ -41,6 +41,7 @@ jobsFromArgv(int argc, char **argv)
             std::fprintf(stderr,
                          "--jobs expects an unsigned number, got '%s'\n",
                          v);
+            // pmlint: abort-ok(usage error before any simulation exists)
             std::exit(2);
         }
         return jobs;
@@ -70,6 +71,7 @@ kernelThreadsFromArgv(int argc, char **argv)
                          "--kernel-threads expects a thread count >= 1, "
                          "got '%s'\n",
                          v);
+            // pmlint: abort-ok(usage error before any simulation exists)
             std::exit(2);
         }
         return threads;
@@ -155,4 +157,4 @@ checkFailures(const sim::sweep::Report<R> &report)
 
 } // namespace pm::benchsup
 
-#endif // PM_BENCH_SWEEP_SUPPORT_HH
+#endif // PM_SWEEP_SUPPORT_HH

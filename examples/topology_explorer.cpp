@@ -15,7 +15,7 @@
 #include "machines/machines.hh"
 #include "msg/driver.hh"
 #include "msg/probes.hh"
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "sim/random.hh"
 
 namespace {
@@ -26,12 +26,12 @@ void
 describeFabric(unsigned clusters, unsigned uplinks)
 {
     sim::EventQueue queue;
-    net::FabricParams fp;
+    fabric::FabricParams fp;
     fp.clusters = clusters;
     fp.nodesPerCluster = 8;
     fp.uplinksPerCluster = clusters > 1 ? uplinks : 0;
     fp.networks = 2;
-    net::Fabric fabric(fp, queue);
+    fabric::Fabric fabric(fp, queue);
 
     const unsigned nodes = fabric.numNodes();
     std::uint64_t pathSum = 0;

@@ -1,9 +1,8 @@
-#include "net/injector.hh"
+#include "fabric/injector.hh"
 
-#include "ni/linkinterface.hh"
 #include "sim/logging.hh"
 
-namespace pm::net {
+namespace pm::fabric {
 
 Injector::Injector(Fabric &fabric, sim::EventQueue &queue, unsigned node,
                    const InjectorParams &params)
@@ -61,13 +60,13 @@ Injector::tryInject()
     }
 
     for (auto byte : route)
-        ni.pushSend(Symbol::makeRoute(byte), now);
+        ni.pushSend(net::Symbol::makeRoute(byte), now);
     // Header: payload length; first payload word carries the stamp.
-    ni.pushSend(Symbol::makeData(_p.payloadWords), now);
-    ni.pushSend(Symbol::makeData(now), now);
+    ni.pushSend(net::Symbol::makeData(_p.payloadWords), now);
+    ni.pushSend(net::Symbol::makeData(now), now);
     for (unsigned w = 1; w < _p.payloadWords; ++w)
-        ni.pushSend(Symbol::makeData(_rng.next()), now);
-    ni.pushSend(Symbol::makeClose(), now);
+        ni.pushSend(net::Symbol::makeData(_rng.next()), now);
+    ni.pushSend(net::Symbol::makeClose(), now);
     ++sent;
 
     (void)_queue.scheduleIn(_interval, [this] { tryInject(); });
@@ -122,4 +121,4 @@ Drain::pump()
     (void)_queue.scheduleIn(_poll, [this] { pump(); });
 }
 
-} // namespace pm::net
+} // namespace pm::fabric

@@ -8,19 +8,19 @@
  * ext_fabric_saturation bench and the network property tests.
  */
 
-#ifndef PM_NET_INJECTOR_HH
-#define PM_NET_INJECTOR_HH
+#ifndef PM_FABRIC_INJECTOR_HH
+#define PM_FABRIC_INJECTOR_HH
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "sim/event.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 
-namespace pm::net {
+namespace pm::fabric {
 
 /** Static configuration of one node's injector. */
 struct InjectorParams
@@ -105,6 +105,6 @@ class Drain
     void pump();
 };
 
-} // namespace pm::net
+} // namespace pm::fabric
 
-#endif // PM_NET_INJECTOR_HH
+#endif // PM_FABRIC_INJECTOR_HH

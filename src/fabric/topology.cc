@@ -1,8 +1,8 @@
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 
 #include "sim/logging.hh"
 
-namespace pm::net {
+namespace pm::fabric {
 
 Fabric::Fabric(const FabricParams &params, sim::EventQueue &queue)
     : _p(params),
@@ -72,11 +72,11 @@ Fabric::buildNetwork(unsigned n)
 
     // Cluster crossbars and node link interfaces.
     for (unsigned c = 0; c < _p.clusters; ++c) {
-        CrossbarParams xp = _p.xbar;
+        net::CrossbarParams xp = _p.xbar;
         xp.name = "xbar.c" + std::to_string(c) + tag;
         xp.link.fault = _p.fault;
         net.clusterXbars.push_back(
-            std::make_unique<Crossbar>(xp, clusterQueue(c)));
+            std::make_unique<net::Crossbar>(xp, clusterQueue(c)));
     }
     for (unsigned node = 0; node < numNodes(); ++node) {
         ni::LinkIfParams np = _p.ni;
@@ -86,7 +86,7 @@ Fabric::buildNetwork(unsigned n)
         net.nis.push_back(std::make_unique<ni::LinkInterface>(
             np, clusterQueue(clusterOf(node))));
 
-        Crossbar &xb = *net.clusterXbars[clusterOf(node)];
+        net::Crossbar &xb = *net.clusterXbars[clusterOf(node)];
         const unsigned local = localIndex(node);
         net.nis.back()->connectOutput(xb.inputPort(local));
         xb.connectOutput(local, net.nis.back()->rxPort());
@@ -97,24 +97,24 @@ Fabric::buildNetwork(unsigned n)
 
     // Second-level crossbars, reached over asynchronous transceivers.
     for (unsigned u = 0; u < _p.uplinksPerCluster; ++u) {
-        CrossbarParams xp = _p.xbar;
+        net::CrossbarParams xp = _p.xbar;
         xp.name = "xbar.l2u" + std::to_string(u) + tag;
         xp.link.fault = _p.fault;
-        net.l2Xbars.push_back(std::make_unique<Crossbar>(xp, hubQueue()));
+        net.l2Xbars.push_back(std::make_unique<net::Crossbar>(xp, hubQueue()));
     }
     for (unsigned c = 0; c < _p.clusters; ++c) {
-        Crossbar &cx = *net.clusterXbars[c];
+        net::Crossbar &cx = *net.clusterXbars[c];
         for (unsigned u = 0; u < _p.uplinksPerCluster; ++u) {
-            Crossbar &l2 = *net.l2Xbars[u];
+            net::Crossbar &l2 = *net.l2Xbars[u];
             const unsigned upPort = _p.nodesPerCluster + u;
 
-            TransceiverParams tp = _p.xcvr;
+            net::TransceiverParams tp = _p.xcvr;
             tp.link.fault = _p.fault;
             tp.name = "xcvr.up.c" + std::to_string(c) + ".u" +
                       std::to_string(u) + tag;
             net.xcvrs.push_back(
-                std::make_unique<Transceiver>(tp, clusterQueue(c)));
-            Transceiver &up = *net.xcvrs.back();
+                std::make_unique<net::Transceiver>(tp, clusterQueue(c)));
+            net::Transceiver &up = *net.xcvrs.back();
             cx.connectOutput(upPort, up.inputPort());
             connectBoundary(net, up, tp.name, c, _p.clusters,
                             l2.inputPort(c));
@@ -122,8 +122,8 @@ Fabric::buildNetwork(unsigned n)
             tp.name = "xcvr.down.c" + std::to_string(c) + ".u" +
                       std::to_string(u) + tag;
             net.xcvrs.push_back(
-                std::make_unique<Transceiver>(tp, hubQueue()));
-            Transceiver &down = *net.xcvrs.back();
+                std::make_unique<net::Transceiver>(tp, hubQueue()));
+            net::Transceiver &down = *net.xcvrs.back();
             l2.connectOutput(c, down.inputPort());
             connectBoundary(net, down, tp.name, _p.clusters, c,
                             cx.inputPort(upPort));
@@ -132,17 +132,17 @@ Fabric::buildNetwork(unsigned n)
 }
 
 void
-Fabric::connectBoundary(Network &net, Transceiver &xcvr,
+Fabric::connectBoundary(Network &net, net::Transceiver &xcvr,
                         const std::string &name, unsigned srcPartition,
-                        unsigned dstPartition, SymbolSink *remote)
+                        unsigned dstPartition, net::SymbolSink *remote)
 {
     if (_kernel == nullptr) {
         xcvr.connectOutput(remote);
         return;
     }
-    net.bridges.push_back(std::make_unique<PartitionBridge>(
+    net.bridges.push_back(std::make_unique<net::PartitionBridge>(
         name + ".bridge", *_kernel, srcPartition, dstPartition, remote));
-    PartitionBridge &bridge = *net.bridges.back();
+    net::PartitionBridge &bridge = *net.bridges.back();
     xcvr.connectOutput(&bridge);
     xcvr.outputLink()->setCourier(&bridge);
 }
@@ -155,7 +155,7 @@ Fabric::ni(unsigned node, unsigned net)
     return *_nets[net].nis[node];
 }
 
-Crossbar &
+net::Crossbar &
 Fabric::clusterXbar(unsigned c, unsigned net)
 {
     if (net >= _p.networks || c >= _p.clusters)
@@ -163,7 +163,7 @@ Fabric::clusterXbar(unsigned c, unsigned net)
     return *_nets[net].clusterXbars[c];
 }
 
-Crossbar &
+net::Crossbar &
 Fabric::levelTwoXbar(unsigned u, unsigned net)
 {
     if (net >= _p.networks || u >= _p.uplinksPerCluster ||
@@ -256,4 +256,4 @@ Fabric::reset()
     }
 }
 
-} // namespace pm::net
+} // namespace pm::fabric

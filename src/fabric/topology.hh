@@ -13,8 +13,8 @@
  * property the paper states for its 256-processor configuration.
  */
 
-#ifndef PM_NET_TOPOLOGY_HH
-#define PM_NET_TOPOLOGY_HH
+#ifndef PM_FABRIC_TOPOLOGY_HH
+#define PM_FABRIC_TOPOLOGY_HH
 
 #include <cstdint>
 #include <memory>
@@ -28,7 +28,7 @@
 #include "sim/event.hh"
 #include "sim/partition.hh"
 
-namespace pm::net {
+namespace pm::fabric {
 
 /** Static configuration of a PowerMANNA fabric. */
 struct FabricParams
@@ -37,10 +37,10 @@ struct FabricParams
     unsigned nodesPerCluster = 8; //!< Up to 8 (Figure 5a backplane).
     unsigned uplinksPerCluster = 4; //!< Second-level crossbars used.
     unsigned networks = 2; //!< Duplicated network (Section 2).
-    CrossbarParams xbar;
-    TransceiverParams xcvr;
+    net::CrossbarParams xbar;
+    net::TransceiverParams xcvr;
     ni::LinkIfParams ni;
-    LinkParams nodeLink; //!< Node -> cluster crossbar direction.
+    net::LinkParams nodeLink; //!< Node -> cluster crossbar direction.
 
     /**
      * Optional fault injection; propagated into every link direction
@@ -105,10 +105,10 @@ class Fabric
     ni::LinkInterface &ni(unsigned node, unsigned net = 0);
 
     /** Cluster crossbar `c` of network `net` (tests/stats). */
-    Crossbar &clusterXbar(unsigned c, unsigned net = 0);
+    net::Crossbar &clusterXbar(unsigned c, unsigned net = 0);
 
     /** Second-level crossbar `u` of network `net` (tests/stats). */
-    Crossbar &levelTwoXbar(unsigned u, unsigned net = 0);
+    net::Crossbar &levelTwoXbar(unsigned u, unsigned net = 0);
 
     /**
      * Route-command bytes for a connection src -> dst (one byte per
@@ -150,10 +150,10 @@ class Fabric
   private:
     struct Network
     {
-        std::vector<std::unique_ptr<Crossbar>> clusterXbars;
-        std::vector<std::unique_ptr<Crossbar>> l2Xbars;
-        std::vector<std::unique_ptr<Transceiver>> xcvrs;
-        std::vector<std::unique_ptr<PartitionBridge>> bridges;
+        std::vector<std::unique_ptr<net::Crossbar>> clusterXbars;
+        std::vector<std::unique_ptr<net::Crossbar>> l2Xbars;
+        std::vector<std::unique_ptr<net::Transceiver>> xcvrs;
+        std::vector<std::unique_ptr<net::PartitionBridge>> bridges;
         std::vector<std::unique_ptr<ni::LinkInterface>> nis; // per node
     };
 
@@ -176,11 +176,11 @@ class Fabric
      * Connect a transceiver's output to `remote` — directly, or via a
      * PartitionBridge when the two ends live in different partitions.
      */
-    void connectBoundary(Network &net, Transceiver &xcvr,
+    void connectBoundary(Network &net, net::Transceiver &xcvr,
                          const std::string &name, unsigned srcPartition,
-                         unsigned dstPartition, SymbolSink *remote);
+                         unsigned dstPartition, net::SymbolSink *remote);
 };
 
-} // namespace pm::net
+} // namespace pm::fabric
 
-#endif // PM_NET_TOPOLOGY_HH
+#endif // PM_FABRIC_TOPOLOGY_HH

@@ -203,7 +203,7 @@ allNodeConfigs()
     return {powerManna(), sunUltra1(), pentiumPc180(), pentiumPc266()};
 }
 
-net::FabricParams
+fabric::FabricParams
 powerMannaFabric(unsigned clusters, unsigned nodesPerCluster)
 {
     if (clusters == 0 || clusters > 16)
@@ -212,7 +212,7 @@ powerMannaFabric(unsigned clusters, unsigned nodesPerCluster)
     if (nodesPerCluster == 0 || nodesPerCluster > 8)
         pm_fatal("powerMannaFabric: nodesPerCluster must be 1..8, got %u",
                  nodesPerCluster);
-    net::FabricParams fp; // Defaults are the Section 2 parameters.
+    fabric::FabricParams fp; // Defaults are the Section 2 parameters.
     fp.clusters = clusters;
     fp.nodesPerCluster = nodesPerCluster;
     return fp;

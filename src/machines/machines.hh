@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "node/node.hh"
 
 namespace pm::machines {
@@ -48,9 +48,9 @@ std::vector<node::NodeParams> allNodeConfigs();
  * backplanes of `nodesPerCluster` nodes each, joined through the
  * second crossbar level when clusters > 1 (Section 2's parameters are
  * the FabricParams defaults). This is the shape the partitioned event
- * kernel domains map onto — see net::Fabric::domainsFor.
+ * kernel domains map onto — see fabric::Fabric::domainsFor.
  */
-net::FabricParams powerMannaFabric(unsigned clusters,
+fabric::FabricParams powerMannaFabric(unsigned clusters,
                                    unsigned nodesPerCluster);
 
 /**

@@ -8,7 +8,7 @@ namespace pm::msg {
 System::System(const SystemParams &params)
     : _p(params),
       _kernel(params.kernelThreads != 0
-                  ? net::Fabric::domainsFor(params.fabric)
+                  ? fabric::Fabric::domainsFor(params.fabric)
                   : 1,
               params.kernelThreads != 0 ? params.kernelThreads : 1),
       _health(_kernel.queue(0), _ctx)
@@ -33,7 +33,7 @@ System::System(const SystemParams &params)
             std::make_unique<FaultMergeHook>(*_p.fabric.fault);
         _kernel.addBarrierHook(_faultMerge.get());
     }
-    _fabric = std::make_unique<net::Fabric>(_p.fabric, _kernel);
+    _fabric = std::make_unique<fabric::Fabric>(_p.fabric, _kernel);
     _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {
         node::NodeParams np = _p.node;

@@ -11,7 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "node/node.hh"
 #include "sim/context.hh"
 #include "sim/event.hh"
@@ -24,7 +24,7 @@ namespace pm::msg {
 struct SystemParams
 {
     node::NodeParams node; //!< Per-node configuration (all identical).
-    net::FabricParams fabric; //!< Interconnect topology.
+    fabric::FabricParams fabric; //!< Interconnect topology.
 
     /**
      * 0 (default): the classic single-queue kernel — one EventQueue
@@ -116,7 +116,7 @@ class System
      */
     [[nodiscard]] Tick simNow() const { return _kernel.maxNow(); }
 
-    net::Fabric &fabric() { return *_fabric; }
+    fabric::Fabric &fabric() { return *_fabric; }
     unsigned numNodes() const { return _fabric->numNodes(); }
     node::Node &node(unsigned i) { return *_nodes.at(i); }
     ni::LinkInterface &ni(unsigned nodeId, unsigned net = 0)
@@ -193,7 +193,7 @@ class System
     sim::Partitioned _kernel;
     sim::health::Monitor _health;
     std::unique_ptr<FaultMergeHook> _faultMerge;
-    std::unique_ptr<net::Fabric> _fabric;
+    std::unique_ptr<fabric::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;
 

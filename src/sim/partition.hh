@@ -6,7 +6,7 @@
  * advances them in *windows*: each window starts at the global
  * minimum next-event tick, extends for the cross-partition lookahead
  * (the minimum delay any event in one partition needs to affect
- * another — derived by net::Fabric from its transceiver cable + link
+ * another — derived by fabric::Fabric from its transceiver cable + link
  * delays), and runs every partition's events inside the window with
  * no synchronization at all. Cross-partition communication is not
  * allowed to touch a foreign queue mid-window; it goes through

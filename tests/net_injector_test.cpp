@@ -9,13 +9,14 @@
 
 #include <memory>
 
-#include "net/injector.hh"
-#include "net/topology.hh"
+#include "fabric/injector.hh"
+#include "fabric/topology.hh"
 
 namespace {
 
 using namespace pm;
 using namespace pm::net;
+using namespace pm::fabric;
 
 FabricParams
 fabricParams(unsigned clusters = 1)

@@ -7,13 +7,14 @@
 
 #include <gtest/gtest.h>
 
-#include "net/topology.hh"
+#include "fabric/topology.hh"
 #include "sim/event.hh"
 
 namespace {
 
 using namespace pm;
 using namespace pm::net;
+using namespace pm::fabric;
 
 FabricParams
 smallParams(unsigned clusters = 1, unsigned nodes = 8, unsigned up = 4)

@@ -1,0 +1,32 @@
+/**
+ * Fixture: seeded cross-partition-write violation. The post() callback
+ * runs on partition `dstPart`'s worker, but `_samples` belongs to a
+ * GatherProbe homed (via queueFor) on its own node's queue — a data
+ * race at --kernel-threads > 1 and a determinism hazard at any count.
+ */
+
+#include "sim/partition.hh"
+
+namespace pm::msg {
+
+class GatherProbe
+{
+  public:
+    GatherProbe(sim::Partitioned &kernel, sim::System &sys, unsigned node)
+        : _kernel(kernel), _queue(sys.queueFor(node))
+    {
+    }
+
+    void
+    sample(unsigned srcPart, unsigned dstPart, Tick when)
+    {
+        _kernel.post(srcPart, dstPart, when, [this] { _samples += 1; });
+    }
+
+  private:
+    sim::Partitioned &_kernel;
+    sim::EventQueue &_queue;
+    unsigned long _samples = 0;
+};
+
+} // namespace pm::msg

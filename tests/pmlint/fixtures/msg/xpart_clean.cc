@@ -1,0 +1,50 @@
+/**
+ * Fixture: clean counterpart to xpart_bad.cc, showing both blessed
+ * shapes. MergeProbe accumulates into a per-callback counter and merges
+ * at the partition barrier (it registers as a BarrierHook); AtomicProbe
+ * makes the cross-partition counter std::atomic.
+ */
+
+#include <atomic>
+
+#include "sim/partition.hh"
+
+namespace pm::msg {
+
+class MergeProbe : public sim::Partitioned::BarrierHook
+{
+  public:
+    void
+    sample(unsigned srcPart, unsigned dstPart, Tick when)
+    {
+        _kernel.post(srcPart, dstPart, when, [this] { _pending += 1; });
+    }
+
+    void
+    atBarrier(Tick) override
+    {
+        _samples += _pending;
+        _pending = 0;
+    }
+
+  private:
+    sim::Partitioned &_kernel;
+    unsigned long _pending = 0;
+    unsigned long _samples = 0;
+};
+
+class AtomicProbe
+{
+  public:
+    void
+    sample(unsigned srcPart, unsigned dstPart, Tick when)
+    {
+        _kernel.post(srcPart, dstPart, when, [this] { _samples += 1; });
+    }
+
+  private:
+    sim::Partitioned &_kernel;
+    std::atomic<unsigned long> _samples{0};
+};
+
+} // namespace pm::msg

@@ -1,0 +1,18 @@
+/**
+ * Fixture: seeded layering violation. net/ sits below msg/ in the
+ * DESIGN.md layer order and may only include sim/; reaching up into
+ * msg/ inverts the dependency direction.
+ */
+
+#include "msg/system.hh"
+#include "sim/event.hh"
+
+namespace pm::net {
+
+int
+layerProbe()
+{
+    return 1;
+}
+
+} // namespace pm::net

@@ -1,0 +1,17 @@
+/**
+ * Fixture: clean counterpart to layer_bad.cc. ni/ may depend on net/
+ * and sim/ — both includes point strictly downward in the layer order.
+ */
+
+#include "net/fifo.hh"
+#include "sim/event.hh"
+
+namespace pm::ni {
+
+int
+layerProbe()
+{
+    return 2;
+}
+
+} // namespace pm::ni

@@ -1,0 +1,18 @@
+/**
+ * Fixture: seeded dangling-capture violation. The by-reference lambda
+ * is handed to EventQueue::schedule and fires long after armTimeout's
+ * frame is gone; `expired` is then a dangling stack slot.
+ */
+
+#include "sim/event.hh"
+
+namespace pm::sim {
+
+void
+armTimeout(EventQueue &queue, Tick deadline)
+{
+    bool expired = false;
+    (void)queue.schedule(deadline, [&] { expired = true; });
+}
+
+} // namespace pm::sim

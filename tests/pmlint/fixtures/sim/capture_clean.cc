@@ -1,0 +1,23 @@
+/**
+ * Fixture: clean counterpart to capture_bad.cc. Heap-owned state is
+ * captured by value; the one by-reference capture is annotated because
+ * the queue provably drains inside the same frame.
+ */
+
+#include "sim/event.hh"
+
+namespace pm::sim {
+
+void
+countdown(EventQueue &queue)
+{
+    int remaining = 3;
+    // pmlint: capture-ok(queue.run() drains before this frame unwinds)
+    (void)queue.schedule(Tick{10}, [&] { --remaining; });
+    queue.run();
+
+    auto *counter = new int(0);
+    (void)queue.schedule(Tick{20}, [counter] { ++*counter; });
+}
+
+} // namespace pm::sim

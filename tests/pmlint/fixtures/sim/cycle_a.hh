@@ -1,0 +1,18 @@
+/**
+ * Fixture: one half of a seeded include cycle (with cycle_b.hh). The
+ * cycle is fatal and not suppressible.
+ */
+
+#ifndef PM_SIM_CYCLE_A_HH
+#define PM_SIM_CYCLE_A_HH
+
+#include "sim/cycle_b.hh"
+
+namespace pm::sim {
+struct CycleA
+{
+    int a = 0;
+};
+} // namespace pm::sim
+
+#endif // PM_SIM_CYCLE_A_HH

@@ -1,0 +1,17 @@
+/**
+ * Fixture: other half of the seeded include cycle (with cycle_a.hh).
+ */
+
+#ifndef PM_SIM_CYCLE_B_HH
+#define PM_SIM_CYCLE_B_HH
+
+#include "sim/cycle_a.hh"
+
+namespace pm::sim {
+struct CycleB
+{
+    int b = 0;
+};
+} // namespace pm::sim
+
+#endif // PM_SIM_CYCLE_B_HH

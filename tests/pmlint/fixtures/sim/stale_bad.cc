@@ -1,0 +1,16 @@
+/**
+ * Fixture: seeded stale-annotation violation. The call this annotation
+ * once excused has been deleted; a suppression that suppresses nothing
+ * must rot loudly, not silently widen the escape hatch.
+ */
+
+namespace pm::sim {
+
+// pmlint: abort-ok(usage error before any simulation exists)
+int
+stalePath()
+{
+    return 3;
+}
+
+} // namespace pm::sim

@@ -1,0 +1,17 @@
+/**
+ * Fixture: clean counterpart to stale_bad.cc. The annotation sits on
+ * the line above a finding of the rule it names, so it suppresses that
+ * finding and is itself counted as used.
+ */
+
+namespace pm::sim {
+
+int
+nextProbeId()
+{
+    // pmlint: static-ok(fixture: intentionally process-wide counter)
+    static int counter = 0;
+    return ++counter;
+}
+
+} // namespace pm::sim

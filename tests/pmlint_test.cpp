@@ -4,10 +4,14 @@
  *
  * The fixture tree under tests/pmlint/fixtures/ seeds exactly one
  * violation per rule plus a clean counterpart for each; expected.txt
- * is the byte-exact diagnostic output (file:line: [rule-id] message,
- * sorted, plus the summary line). Any rule regression — a lost
- * detection, a new false positive on the clean files, a changed
- * diagnostic format — shows up as a diff here in tier-1.
+ * and expected.jsonl are the byte-exact diagnostic output in both
+ * formats (file:line:col: [rule-id] message, sorted, plus the summary
+ * line in text mode). Any rule regression — a lost detection, a new
+ * false positive on the clean files, a changed diagnostic format —
+ * shows up as a diff here in tier-1. The cross-TU rules (dangling-
+ * capture, cross-partition-write, layering/include cycles,
+ * stale-annotation) are exercised by the same tree: their fixtures
+ * only produce findings when pass 2 links indexes across files.
  *
  * The binary and paths are injected by CMake as PMLINT_* macros.
  */
@@ -15,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 namespace {
@@ -81,16 +86,58 @@ TEST(PmLint, EverySeededRuleIsDetected)
          {"[banned-ident]", "[unordered-iter]", "[std-function]",
           "[include-guard]", "[no-iostream]", "[no-raw-abort]",
           "[assert-side-effect]", "[annotation]",
-          "[no-static-mutable]", "[partition-shared]"})
+          "[no-static-mutable]", "[dangling-capture]",
+          "[cross-partition-write]", "[layering]",
+          "[stale-annotation]"})
         EXPECT_NE(res.output.find(rule), std::string::npos)
             << "rule never fired on fixtures: " << rule;
+    // The include cycle is part of the layering rule but has its own
+    // (unsuppressible) diagnostic text.
+    EXPECT_NE(res.output.find("include cycle"), std::string::npos);
+}
+
+TEST(PmLint, JsonlMatchesGoldenOutput)
+{
+    const RunResult res = run(std::string(PMLINT_BIN) + " --jsonl " +
+                              PMLINT_FIXTURES);
+    const std::string expected = slurp(PMLINT_EXPECTED_JSONL);
+    ASSERT_FALSE(expected.empty())
+        << "could not read golden file " << PMLINT_EXPECTED_JSONL;
+    EXPECT_EQ(res.exitCode, 1);
+    EXPECT_EQ(res.output, expected);
+}
+
+TEST(PmLint, IndexCacheRoundTripIsInvisible)
+{
+    // Pass-1 caching must be a pure optimisation: a cold run (which
+    // populates the cache) and a warm run (which replays it) both
+    // produce byte-identical output to the uncached run.
+    const std::string cacheDir = PMLINT_CACHE_DIR;
+    std::filesystem::remove_all(cacheDir);
+    const std::string base =
+        run(std::string(PMLINT_BIN) + " " + PMLINT_FIXTURES).output;
+    const RunResult cold = run(std::string(PMLINT_BIN) +
+                               " --index-cache " + cacheDir + " " +
+                               PMLINT_FIXTURES);
+    const RunResult warm = run(std::string(PMLINT_BIN) +
+                               " --index-cache " + cacheDir + " " +
+                               PMLINT_FIXTURES);
+    EXPECT_EQ(cold.exitCode, 1);
+    EXPECT_EQ(warm.exitCode, 1);
+    EXPECT_EQ(cold.output, base);
+    EXPECT_EQ(warm.output, base);
+    // The cache actually wrote entries (one per fixture file).
+    EXPECT_FALSE(std::filesystem::is_empty(cacheDir));
 }
 
 TEST(PmLint, SourceTreeIsCleanAndExitsZero)
 {
-    // The zero-finding baseline over src/ is itself a tier-1 property:
-    // a PR reintroducing a hazard fails ctest before it reaches CI.
-    const RunResult res = run(std::string(PMLINT_BIN) + " " + PMLINT_SRC);
+    // The zero-finding baseline over src/, bench/, and tools/ is
+    // itself a tier-1 property: a PR reintroducing a hazard fails
+    // ctest before it reaches CI.
+    const RunResult res = run(std::string(PMLINT_BIN) + " " +
+                              PMLINT_SRC + " " + PMLINT_BENCH + " " +
+                              PMLINT_TOOLS);
     EXPECT_EQ(res.exitCode, 0) << res.output;
     EXPECT_EQ(res.output, "");
 }
@@ -101,6 +148,17 @@ TEST(PmLint, MissingRootExitsWithUsageError)
                   .exitCode,
               2);
     EXPECT_EQ(run(std::string(PMLINT_BIN)).exitCode, 2);
+    EXPECT_EQ(run(std::string(PMLINT_BIN) + " --no-such-flag").exitCode,
+              2);
+}
+
+TEST(PmLint, HelpDocumentsExitCodes)
+{
+    const RunResult res = run(std::string(PMLINT_BIN) + " --help");
+    EXPECT_EQ(res.exitCode, 0);
+    EXPECT_NE(res.output.find("exit status"), std::string::npos);
+    EXPECT_NE(res.output.find("--jsonl"), std::string::npos);
+    EXPECT_NE(res.output.find("--index-cache"), std::string::npos);
 }
 
 } // namespace

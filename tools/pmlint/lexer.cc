@@ -19,31 +19,51 @@ identCont(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/** Characters an annotation name may consist of. */
+bool
+annotNameChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+}
+
 /** Multi-character punctuators, longest first within each length. */
 const char *const kPunct3[] = {"<<=", ">>=", "...", "->*", "<=>"};
 const char *const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
                                ">=", "==", "!=", "&&", "||", "+=", "-=",
                                "*=", "/=", "%=", "&=", "|=", "^=", "##"};
 
-/** Parse a `pmlint:` comment body into an Annotation. */
-Annotation
-parseAnnotation(int line, const std::string &body)
+/**
+ * Parse a comment body that contains the marker into an Annotation.
+ * Returns false when the text after the marker is not even an
+ * annotation *candidate* — the name scanned from the identifier
+ * charset must be non-empty and end in "-ok" — so documentation that
+ * mentions the marker (like this tool's own sources) is ignored
+ * rather than reported as malformed.
+ */
+bool
+parseAnnotation(int line, int col, const std::string &body, Annotation &a)
 {
-    Annotation a;
     a.line = line;
+    a.col = col;
     a.wellFormed = false;
     std::size_t pos = body.find("pmlint:");
     pos += 7;
-    while (pos < body.size() && std::isspace(static_cast<unsigned char>(
-                                    body[pos])))
+    while (pos < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[pos])))
         ++pos;
-    std::size_t paren = body.find('(', pos);
-    std::size_t nameEnd = paren == std::string::npos ? body.size() : paren;
-    while (nameEnd > pos && std::isspace(static_cast<unsigned char>(
-                                body[nameEnd - 1])))
-        --nameEnd;
+    std::size_t nameEnd = pos;
+    while (nameEnd < body.size() && annotNameChar(body[nameEnd]))
+        ++nameEnd;
     a.name = body.substr(pos, nameEnd - pos);
-    if (paren != std::string::npos) {
+    if (a.name.size() < 4 ||
+        a.name.compare(a.name.size() - 3, 3, "-ok") != 0)
+        return false;
+    std::size_t paren = nameEnd;
+    while (paren < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[paren])))
+        ++paren;
+    if (paren < body.size() && body[paren] == '(') {
         std::size_t close = body.rfind(')');
         if (close != std::string::npos && close > paren)
             a.reason = body.substr(paren + 1, close - paren - 1);
@@ -51,7 +71,7 @@ parseAnnotation(int line, const std::string &body)
     // Well-formed: a known annotation name with a non-empty reason.
     a.wellFormed = annotationRules().count(a.name) > 0 &&
                    a.reason.find_first_not_of(" \t") != std::string::npos;
-    return a;
+    return true;
 }
 
 class Scanner
@@ -76,6 +96,7 @@ class Scanner
     SourceFile _out;
     std::size_t _pos = 0;
     int _line = 1;
+    int _col = 1;
     bool _atLineStart = true; //!< Only whitespace seen on this line.
 
     char peek(std::size_t off = 0) const
@@ -88,9 +109,22 @@ class Scanner
     {
         if (_text[_pos] == '\n') {
             ++_line;
+            _col = 1;
             _atLineStart = true;
+        } else {
+            ++_col;
         }
         ++_pos;
+    }
+
+    void
+    noteAnnotation(int line, int col, const std::string &body)
+    {
+        if (body.find("pmlint:") == std::string::npos)
+            return;
+        Annotation a;
+        if (parseAnnotation(line, col, body, a))
+            _out.annotations.push_back(std::move(a));
     }
 
     void
@@ -139,6 +173,7 @@ class Scanner
     {
         PpDirective d;
         d.line = _line;
+        d.col = _col;
         advance(); // '#'
         while (peek() == ' ' || peek() == '\t')
             advance();
@@ -152,6 +187,7 @@ class Scanner
         // A trailing "// comment" on the directive line is still
         // scanned for pmlint annotations.
         std::string rest;
+        const int restCol = _col;
         while (_pos < _text.size()) {
             const char ch = peek();
             if (ch == '\n') {
@@ -168,8 +204,8 @@ class Scanner
         std::size_t comment = rest.find("//");
         if (comment != std::string::npos) {
             const std::string tail = rest.substr(comment);
-            if (tail.find("pmlint:") != std::string::npos)
-                _out.annotations.push_back(parseAnnotation(d.line, tail));
+            noteAnnotation(d.line,
+                           restCol + static_cast<int>(comment), tail);
             rest = rest.substr(0, comment);
         }
         while (!rest.empty() &&
@@ -183,19 +219,20 @@ class Scanner
     scanLineComment()
     {
         const int line = _line;
+        const int col = _col;
         std::string body;
         while (_pos < _text.size() && peek() != '\n') {
             body += peek();
             advance();
         }
-        if (body.find("pmlint:") != std::string::npos)
-            _out.annotations.push_back(parseAnnotation(line, body));
+        noteAnnotation(line, col, body);
     }
 
     void
     scanBlockComment()
     {
         const int line = _line;
+        const int col = _col;
         std::string body;
         advance();
         advance();
@@ -208,8 +245,7 @@ class Scanner
             advance();
             advance();
         }
-        if (body.find("pmlint:") != std::string::npos)
-            _out.annotations.push_back(parseAnnotation(line, body));
+        noteAnnotation(line, col, body);
     }
 
     void
@@ -220,6 +256,7 @@ class Scanner
         // following quote itself, so reaching here means an ordinary
         // literal.
         const int line = _line;
+        const int col = _col;
         advance(); // opening quote
         while (_pos < _text.size() && peek() != '"') {
             if (peek() == '\\' && _pos + 1 < _text.size())
@@ -230,14 +267,13 @@ class Scanner
         }
         if (_pos < _text.size() && peek() == '"')
             advance();
-        _out.tokens.push_back({Token::Kind::String, "", line});
+        _out.tokens.push_back({Token::Kind::String, "", line, col});
     }
 
     void
-    scanRawString()
+    scanRawString(int line, int col)
     {
         // At the opening quote of R"delim( ... )delim".
-        const int line = _line;
         advance(); // '"'
         std::string delim;
         while (_pos < _text.size() && peek() != '(') {
@@ -247,18 +283,20 @@ class Scanner
         const std::string close = ")" + delim + "\"";
         std::size_t end = _text.find(close, _pos);
         if (end == std::string::npos) {
-            _pos = _text.size();
+            while (_pos < _text.size())
+                advance();
         } else {
             while (_pos < end + close.size())
                 advance();
         }
-        _out.tokens.push_back({Token::Kind::String, "", line});
+        _out.tokens.push_back({Token::Kind::String, "", line, col});
     }
 
     void
     scanCharLit()
     {
         const int line = _line;
+        const int col = _col;
         advance();
         while (_pos < _text.size() && peek() != '\'') {
             if (peek() == '\\' && _pos + 1 < _text.size())
@@ -269,13 +307,14 @@ class Scanner
         }
         if (_pos < _text.size() && peek() == '\'')
             advance();
-        _out.tokens.push_back({Token::Kind::CharLit, "", line});
+        _out.tokens.push_back({Token::Kind::CharLit, "", line, col});
     }
 
     void
     scanNumber()
     {
         const int line = _line;
+        const int col = _col;
         std::string text;
         while (_pos < _text.size()) {
             const char c = peek();
@@ -295,13 +334,15 @@ class Scanner
                 break;
             }
         }
-        _out.tokens.push_back({Token::Kind::Number, std::move(text), line});
+        _out.tokens.push_back(
+            {Token::Kind::Number, std::move(text), line, col});
     }
 
     void
     scanIdent()
     {
         const int line = _line;
+        const int col = _col;
         std::string text;
         while (identCont(peek())) {
             text += peek();
@@ -311,7 +352,7 @@ class Scanner
         if (peek() == '"') {
             if (text == "R" || text == "u8R" || text == "uR" ||
                 text == "UR" || text == "LR") {
-                scanRawString();
+                scanRawString(line, col);
                 return;
             }
             if (text == "u8" || text == "u" || text == "U" || text == "L") {
@@ -319,19 +360,21 @@ class Scanner
                 return;
             }
         }
-        _out.tokens.push_back({Token::Kind::Ident, std::move(text), line});
+        _out.tokens.push_back(
+            {Token::Kind::Ident, std::move(text), line, col});
     }
 
     void
     scanPunct()
     {
         const int line = _line;
+        const int col = _col;
         for (const char *p : kPunct3) {
             if (peek() == p[0] && peek(1) == p[1] && peek(2) == p[2]) {
                 advance();
                 advance();
                 advance();
-                _out.tokens.push_back({Token::Kind::Punct, p, line});
+                _out.tokens.push_back({Token::Kind::Punct, p, line, col});
                 return;
             }
         }
@@ -339,32 +382,18 @@ class Scanner
             if (peek() == p[0] && peek(1) == p[1]) {
                 advance();
                 advance();
-                _out.tokens.push_back({Token::Kind::Punct, p, line});
+                _out.tokens.push_back({Token::Kind::Punct, p, line, col});
                 return;
             }
         }
         std::string one(1, peek());
         advance();
-        _out.tokens.push_back({Token::Kind::Punct, std::move(one), line});
+        _out.tokens.push_back(
+            {Token::Kind::Punct, std::move(one), line, col});
     }
 };
 
 } // namespace
-
-bool
-SourceFile::suppressed(const std::string &rule, int line) const
-{
-    for (const Annotation &a : annotations) {
-        if (!a.wellFormed)
-            continue;
-        auto it = annotationRules().find(a.name);
-        if (it == annotationRules().end() || it->second != rule)
-            continue;
-        if (a.line == line || a.line == line - 1)
-            return true;
-    }
-    return false;
-}
 
 SourceFile
 scan(std::string relPath, const std::string &text)
@@ -384,7 +413,9 @@ annotationRules()
         {"guard-ok", "include-guard"},
         {"abort-ok", "no-raw-abort"},
         {"static-ok", "no-static-mutable"},
-        {"partition-ok", "partition-shared"},
+        {"partition-ok", "cross-partition-write"},
+        {"capture-ok", "dangling-capture"},
+        {"layer-ok", "layering"},
     };
     return kMap;
 }

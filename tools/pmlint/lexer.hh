@@ -4,16 +4,17 @@
  *
  * This is not a compiler front end: pmlint's rules are token-level
  * heuristics, so the lexer only needs to (a) produce identifier /
- * number / punctuator tokens with line numbers, (b) skip comments,
- * string literals and character literals so words inside them never
- * trigger a rule, (c) capture `// pmlint: ...` suppression
+ * number / punctuator tokens with line and column numbers, (b) skip
+ * comments, string literals and character literals so words inside
+ * them never trigger a rule, (c) capture `pmlint:` suppression
  * annotations, and (d) record preprocessor directives (`#include`,
  * `#ifndef`, `#define`, `#endif`) separately, because the
- * include-guard and iostream rules work on directives, not tokens.
+ * include-guard, iostream and layering rules work on directives, not
+ * tokens.
  */
 
-#ifndef PM_TOOLS_PMLINT_LEXER_HH
-#define PM_TOOLS_PMLINT_LEXER_HH
+#ifndef PM_PMLINT_LEXER_HH
+#define PM_PMLINT_LEXER_HH
 
 #include <map>
 #include <string>
@@ -35,23 +36,34 @@ struct Token
     Kind kind;
     std::string text;
     int line; //!< 1-based source line the token starts on.
+    int col; //!< 1-based column the token starts on.
 };
 
 /** One preprocessor directive (continuation lines are swallowed). */
 struct PpDirective
 {
     int line; //!< 1-based line of the '#'.
+    int col; //!< 1-based column of the '#'.
     std::string name; //!< "include", "ifndef", "define", "endif", ...
     std::string rest; //!< Remainder of the first line, trimmed.
 };
 
-/** A `// pmlint: <name>-ok(<reason>)` suppression annotation. */
+/**
+ * A suppression annotation: a comment of the form
+ * `pmlint: <name>(<reason>)` where <name> ends in "-ok".
+ *
+ * Comments that merely *mention* pmlint (this file's documentation,
+ * for instance) are not annotations: the candidate test requires an
+ * identifier-shaped name ending in "-ok" directly after the marker,
+ * so prose and placeholder text never parse as one.
+ */
 struct Annotation
 {
     int line;
+    int col;
     std::string name; //!< e.g. "unordered-ok" (everything before '(').
     std::string reason; //!< Text inside the parentheses; may be empty.
-    bool wellFormed; //!< Parsed as name-ok(non-empty reason).
+    bool wellFormed; //!< Known name with a non-empty reason.
 };
 
 /** The scanned form of one source file. */
@@ -61,10 +73,6 @@ struct SourceFile
     std::vector<Token> tokens;
     std::vector<PpDirective> directives;
     std::vector<Annotation> annotations;
-
-    /** True when `rule` is suppressed on `line` (annotation on the
-     *  same line or the line immediately above). */
-    bool suppressed(const std::string &rule, int line) const;
 };
 
 /**
@@ -79,4 +87,4 @@ const std::map<std::string, std::string> &annotationRules();
 
 } // namespace pmlint
 
-#endif // PM_TOOLS_PMLINT_LEXER_HH
+#endif // PM_PMLINT_LEXER_HH

@@ -1,0 +1,352 @@
+#include "link.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace pmlint {
+
+namespace {
+
+using Diags = std::vector<Diagnostic>;
+
+/** Top-level directory of a '/'-separated path ("" when none). */
+std::string
+topDir(const std::string &path)
+{
+    const std::size_t slash = path.find('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+// ---- dangling-capture --------------------------------------------------
+
+/** EventFn sinks every tree has, even when sim/ is not being linted. */
+const std::set<std::string> &
+builtinSinks()
+{
+    static const std::set<std::string> k = {"schedule", "scheduleIn",
+                                            "post"};
+    return k;
+}
+
+void
+checkDanglingCapture(const std::vector<TuIndex> &tus, Diags &out)
+{
+    std::set<std::string> sinks = builtinSinks();
+    for (const TuIndex &tu : tus)
+        sinks.insert(tu.sinks.begin(), tu.sinks.end());
+    for (const TuIndex &tu : tus) {
+        for (const LambdaSite &l : tu.lambdas) {
+            if (!sinks.count(l.callee))
+                continue;
+            out.push_back(
+                {tu.relPath, l.line, l.col, "dangling-capture",
+                 "by-reference capture [" + l.captures +
+                     "] escapes into EventFn sink '" + l.callee +
+                     "': the referent's frame may be gone when the "
+                     "event fires; capture by value, or annotate "
+                     "'// pmlint: capture-ok(<reason>)' if the queue "
+                     "provably drains before the frame unwinds"});
+        }
+    }
+}
+
+// ---- cross-partition-write ---------------------------------------------
+
+struct MergedClass
+{
+    bool barrierHook = false;
+    std::string homeQueueField;
+    std::map<std::string, bool> fields; //!< name -> atomic
+};
+
+std::map<std::string, MergedClass>
+mergeClasses(const std::vector<TuIndex> &tus)
+{
+    std::map<std::string, MergedClass> table;
+    for (const TuIndex &tu : tus) {
+        for (const ClassInfo &c : tu.classes) {
+            if (c.name.empty())
+                continue;
+            MergedClass &m = table[c.name];
+            m.barrierHook = m.barrierHook || c.barrierHook;
+            if (m.homeQueueField.empty())
+                m.homeQueueField = c.homeQueueField;
+            for (const FieldInfo &f : c.fields) {
+                auto [it, fresh] = m.fields.emplace(f.name, f.atomic);
+                if (!fresh)
+                    it->second = it->second || f.atomic;
+            }
+        }
+    }
+    // Homing assignments found away from the class body (ctor-init
+    // lists in .cc files) — only a real field of the class can be the
+    // homed queue, which filters the heuristic's false matches.
+    for (const TuIndex &tu : tus) {
+        for (const Homing &h : tu.homings) {
+            auto it = table.find(h.className);
+            if (it == table.end())
+                continue;
+            if (it->second.homeQueueField.empty() &&
+                it->second.fields.count(h.field))
+                it->second.homeQueueField = h.field;
+        }
+    }
+    return table;
+}
+
+void
+checkCrossPartitionWrite(const std::vector<TuIndex> &tus, Diags &out)
+{
+    const std::map<std::string, MergedClass> classes = mergeClasses(tus);
+    for (const TuIndex &tu : tus) {
+        // The kernel itself moves posted events between partitions.
+        if (tu.relPath == "sim/partition.cc" ||
+            tu.relPath == "sim/partition.hh")
+            continue;
+        for (const PostWrite &w : tu.postWrites) {
+            for (const std::string &name : w.names) {
+                std::string cls;
+                const MergedClass *m = nullptr;
+                if (!w.enclosingClass.empty()) {
+                    auto it = classes.find(w.enclosingClass);
+                    if (it == classes.end() ||
+                        !it->second.fields.count(name))
+                        continue; // a local or capture, not a member
+                    cls = it->first;
+                    m = &it->second;
+                } else {
+                    // Owner unknown: resolve by field name; stay
+                    // silent if *any* candidate class is exempt.
+                    bool exempt = false;
+                    for (const auto &[n, cand] : classes) {
+                        auto f = cand.fields.find(name);
+                        if (f == cand.fields.end())
+                            continue;
+                        if (cls.empty()) {
+                            cls = n;
+                            m = &cand;
+                        }
+                        if (cand.barrierHook || f->second)
+                            exempt = true;
+                    }
+                    if (cls.empty() || exempt)
+                        continue;
+                }
+                if (m->barrierHook || m->fields.at(name))
+                    continue;
+                std::string msg =
+                    "field '" + name + "' of class '" + cls + "'";
+                if (!m->homeQueueField.empty())
+                    msg += " (homed on its '" + m->homeQueueField +
+                           "' queue)";
+                msg += " is written from a Partitioned::post callback "
+                       "that runs on another partition's queue, with no "
+                       "barrier-hook merge and no std::atomic; move the "
+                       "write into a BarrierHook, make the field atomic, "
+                       "or annotate '// pmlint: partition-ok(<reason>)'";
+                out.push_back({tu.relPath, w.line, w.col,
+                               "cross-partition-write", std::move(msg)});
+            }
+        }
+    }
+}
+
+// ---- layering ----------------------------------------------------------
+
+/**
+ * Allowed include edges between src/ layers, transitively closed
+ * (DESIGN.md §8): sim is the base; net stacks on sim; ni on net;
+ * fabric assembles ni+net; the node side stacks mem -> cpu -> node;
+ * msg bridges both stacks; machines/earth sit on msg. A directory
+ * missing from this table (tests, bench, tools fixtures) is unlayered.
+ */
+const std::map<std::string, std::set<std::string>> &
+layerDeps()
+{
+    static const std::map<std::string, std::set<std::string>> k = {
+        {"sim", {}},
+        {"net", {"sim"}},
+        {"ni", {"sim", "net"}},
+        {"fabric", {"sim", "net", "ni"}},
+        {"mem", {"sim"}},
+        {"cpu", {"sim", "mem"}},
+        {"node", {"sim", "mem", "cpu"}},
+        {"baseline", {"sim", "mem", "cpu", "node"}},
+        {"workloads", {"sim", "mem", "cpu", "node"}},
+        {"msg", {"sim", "net", "ni", "fabric", "mem", "cpu", "node"}},
+        {"machines",
+         {"sim", "net", "ni", "fabric", "mem", "cpu", "node", "msg"}},
+        {"earth",
+         {"sim", "net", "ni", "fabric", "mem", "cpu", "node", "msg"}},
+    };
+    return k;
+}
+
+void
+checkLayering(const std::vector<TuIndex> &tus, Diags &out)
+{
+    const auto &deps = layerDeps();
+    for (const TuIndex &tu : tus) {
+        const std::string from = topDir(tu.relPath);
+        auto fromIt = deps.find(from);
+        if (fromIt == deps.end())
+            continue;
+        for (const IncludeEdge &inc : tu.includes) {
+            const std::string to = topDir(inc.path);
+            if (to == from || deps.find(to) == deps.end())
+                continue;
+            if (fromIt->second.count(to))
+                continue;
+            out.push_back(
+                {tu.relPath, inc.line, inc.col, "layering",
+                 "layer '" + from + "' may not include \"" + inc.path +
+                     "\" (layer '" + to +
+                     "'): the DESIGN.md layer order is sim <- net <- ni "
+                     "<- fabric and sim <- mem <- cpu <- node, joined "
+                     "by msg below machines/earth; invert the "
+                     "dependency or annotate "
+                     "'// pmlint: layer-ok(<reason>)'"});
+        }
+    }
+}
+
+/** File-level include cycles (never suppressible: emitted post-link). */
+void
+checkIncludeCycles(const std::vector<TuIndex> &tus, Diags &out)
+{
+    std::map<std::string, const TuIndex *> byPath;
+    for (const TuIndex &tu : tus)
+        byPath.emplace(tu.relPath, &tu);
+    // Colors: 0 white, 1 on the current DFS path, 2 done. One finding
+    // per distinct back edge, reported at the offending #include.
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+
+    struct Frame
+    {
+        const TuIndex *tu;
+        std::size_t next;
+    };
+
+    for (const TuIndex &root : tus) {
+        if (color[root.relPath] != 0)
+            continue;
+        std::vector<Frame> frames{{&root, 0}};
+        color[root.relPath] = 1;
+        stack.push_back(root.relPath);
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.next >= f.tu->includes.size()) {
+                color[f.tu->relPath] = 2;
+                stack.pop_back();
+                frames.pop_back();
+                continue;
+            }
+            const IncludeEdge &inc = f.tu->includes[f.next++];
+            auto target = byPath.find(inc.path);
+            if (target == byPath.end())
+                continue;
+            const int c = color[inc.path];
+            if (c == 1) {
+                // Back edge: reconstruct the cycle for the message.
+                std::string cyc;
+                bool in = false;
+                for (const std::string &s : stack) {
+                    if (s == inc.path)
+                        in = true;
+                    if (in)
+                        cyc += s + " -> ";
+                }
+                cyc += inc.path;
+                out.push_back(
+                    {f.tu->relPath, inc.line, inc.col, "layering",
+                     "include cycle (fatal, not suppressible): " + cyc});
+                continue;
+            }
+            if (c == 2)
+                continue;
+            color[inc.path] = 1;
+            stack.push_back(inc.path);
+            frames.push_back({target->second, 0});
+        }
+    }
+}
+
+// ---- suppression + stale-annotation ------------------------------------
+
+void
+applySuppression(const std::vector<TuIndex> &tus, Diags &diags,
+                 Diags &stale)
+{
+    // Per file: line -> (rule silenced, used flag).
+    struct Slot
+    {
+        const Annotation *a;
+        std::string rule;
+        bool used = false;
+    };
+    std::map<std::string, std::vector<Slot>> byFile;
+    for (const TuIndex &tu : tus) {
+        for (const Annotation &a : tu.annotations) {
+            if (!a.wellFormed)
+                continue; // already a raw 'annotation' finding
+            byFile[tu.relPath].push_back(
+                {&a, annotationRules().at(a.name), false});
+        }
+    }
+    Diags kept;
+    kept.reserve(diags.size());
+    for (Diagnostic &d : diags) {
+        bool suppressed = false;
+        auto it = byFile.find(d.relPath);
+        if (it != byFile.end()) {
+            for (Slot &s : it->second) {
+                if (s.rule != d.rule)
+                    continue;
+                if (s.a->line != d.line && s.a->line != d.line - 1)
+                    continue;
+                s.used = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(d));
+    }
+    diags.swap(kept);
+    for (const auto &[file, slots] : byFile) {
+        for (const Slot &s : slots) {
+            if (s.used)
+                continue;
+            stale.push_back(
+                {file, s.a->line, s.a->col, "stale-annotation",
+                 "annotation '" + s.a->name + "' suppresses nothing: no '" +
+                     s.rule +
+                     "' finding on this or the next line; delete it"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+link(const std::vector<TuIndex> &tus)
+{
+    Diags diags;
+    for (const TuIndex &tu : tus)
+        diags.insert(diags.end(), tu.findings.begin(), tu.findings.end());
+    checkDanglingCapture(tus, diags);
+    checkCrossPartitionWrite(tus, diags);
+    checkLayering(tus, diags);
+
+    Diags unsuppressible;
+    applySuppression(tus, diags, unsuppressible);
+    checkIncludeCycles(tus, unsuppressible);
+    diags.insert(diags.end(), unsuppressible.begin(),
+                 unsuppressible.end());
+    std::sort(diags.begin(), diags.end());
+    return diags;
+}
+
+} // namespace pmlint

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The pass-1 project model: everything pmlint's link stage needs to
+ * know about one translation unit, in a compact, serializable form.
+ *
+ * One TuIndex per file, a pure function of that file's bytes (keyed by
+ * a content hash so CI can cache pass 1 across runs). The link stage
+ * (link.hh) merges all TuIndexes and enforces the cross-TU rules —
+ * dangling-capture, cross-partition-write, layering, stale-annotation —
+ * then applies suppression annotations to the combined finding set.
+ */
+
+#ifndef PM_PMLINT_MODEL_HH
+#define PM_PMLINT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace pmlint {
+
+/** A quoted #include ("net/fifo.hh") — the layering rule's edges. */
+struct IncludeEdge
+{
+    int line;
+    int col;
+    std::string path; //!< As written, '/'-separated, no quotes.
+};
+
+/**
+ * A lambda with a by-reference capture passed as a call argument.
+ * Only by-ref lambdas are indexed: the dangling-capture rule fires
+ * when `callee` resolves to an EventFn sink at link time.
+ */
+struct LambdaSite
+{
+    int line;
+    int col;
+    std::string callee; //!< Innermost enclosing call's name.
+    std::string captures; //!< The offending entries, comma-joined.
+};
+
+/** One data member of an indexed class. */
+struct FieldInfo
+{
+    std::string name;
+    bool atomic; //!< Declared std::atomic<...> (or atomic_*).
+};
+
+/** One class/struct declaration and the facts the link stage uses. */
+struct ClassInfo
+{
+    std::string name;
+    int line;
+    bool barrierHook; //!< Derives Partitioned::BarrierHook (or
+                      //!< registers itself via addBarrierHook(this)).
+    std::string homeQueueField; //!< Member initialized from queueFor(),
+                                //!< empty when the class is not homed.
+    std::vector<FieldInfo> fields;
+};
+
+/**
+ * A queueFor(...) homing assignment found outside the class body
+ * (typically a constructor-init list in a .cc); merged into the class
+ * table by name at link time.
+ */
+struct Homing
+{
+    int line;
+    std::string className;
+    std::string field; //!< The member receiving the homed queue.
+};
+
+/**
+ * Identifiers written inside a lambda passed to Partitioned::post —
+ * i.e. code that will run on *another* partition's queue.
+ */
+struct PostWrite
+{
+    int line;
+    int col;
+    bool capturesThis;
+    std::string enclosingClass; //!< "" when unknown.
+    std::vector<std::string> names; //!< Written identifiers, sorted.
+};
+
+/** The complete pass-1 result for one translation unit. */
+struct TuIndex
+{
+    std::string relPath; //!< Root-relative, '/'-separated.
+    std::uint64_t contentHash = 0; //!< FNV-1a64 of the file bytes.
+    std::vector<Diagnostic> findings; //!< Raw per-file rule findings.
+    std::vector<Annotation> annotations;
+    std::vector<IncludeEdge> includes;
+    std::vector<LambdaSite> lambdas;
+    std::vector<std::string> sinks; //!< Functions taking an EventFn.
+    std::vector<ClassInfo> classes;
+    std::vector<Homing> homings;
+    std::vector<PostWrite> postWrites;
+};
+
+/** FNV-1a 64-bit — the index cache key. */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+/**
+ * Serialize to the versioned line-oriented index format (the CI cache
+ * payload). deserialize() returns false on version mismatch or any
+ * malformed record — callers treat that as a cache miss and rescan.
+ */
+std::string serialize(const TuIndex &tu);
+bool deserialize(const std::string &text, TuIndex &tu);
+
+} // namespace pmlint
+
+#endif // PM_PMLINT_MODEL_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Pass 1: index one scanned translation unit into a TuIndex.
+ *
+ * Runs the per-file rules (rules.hh) for the raw finding list, then a
+ * lightweight declaration walk — a scope stack over the token stream,
+ * not a grammar — extracting the facts the link stage cross-references:
+ * class/field tables, by-reference lambda captures at call sites,
+ * EventFn-taking function names, queueFor() homing assignments,
+ * barrier-hook classes, and writes inside Partitioned::post callbacks.
+ */
+
+#ifndef PM_PMLINT_PARSE_HH
+#define PM_PMLINT_PARSE_HH
+
+#include "lexer.hh"
+#include "model.hh"
+
+namespace pmlint {
+
+/** Build the full pass-1 index for one file. */
+TuIndex indexFile(const SourceFile &file, std::uint64_t contentHash);
+
+} // namespace pmlint
+
+#endif // PM_PMLINT_PARSE_HH

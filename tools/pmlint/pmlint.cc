@@ -3,23 +3,27 @@
  * pmlint — simulator-aware static analysis for the PowerMANNA tree.
  *
  * The repo's most valuable verification asset is bit-for-bit run-to-run
- * determinism; pmlint statically fences the hazard classes that have
- * bitten (or nearly bitten) it, plus event-kernel hygiene rules. See
- * DESIGN.md "Determinism & event-kernel rules" for the rationale of
- * each rule and tests/pmlint/ for one seeded violation per rule.
+ * determinism at any --kernel-threads count; pmlint statically fences
+ * the hazard classes that have bitten (or nearly bitten) it, plus
+ * event-kernel hygiene rules. v2 is a two-pass, cross-translation-unit
+ * analyzer: pass 1 indexes every file into a compact project model
+ * (per-file rule findings, class/field tables, lambda captures at
+ * EventFn call sites, queueFor() homing, barrier hooks, includes);
+ * pass 2 links all indexes and enforces the cross-TU rules —
+ * dangling-capture, cross-partition-write, layering (include cycles
+ * fatal), stale-annotation — then applies suppression annotations.
+ * See DESIGN.md "Determinism & event-kernel rules" for each rule's
+ * hazard, and tests/pmlint/ for one seeded violation per rule.
  *
- * Usage: pmlint <root>...
- *   Each root is a file or a directory walked recursively for
- *   .hh/.h/.cc/.cpp files. Paths in diagnostics are relative to the
- *   root that contained them, so path-scoped rules (hot-path dirs,
- *   include-guard macros) behave identically wherever the tree is
- *   checked out. Run it as `pmlint src` from the repo root.
- *
- * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ * Paths in diagnostics are relative to the root that contained them,
+ * so path-scoped rules (hot-path dirs, include-guard macros, layers)
+ * behave identically wherever the tree is checked out. Run it as
+ * `pmlint src bench tools` from the repo root.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -27,11 +31,39 @@
 #include <vector>
 
 #include "lexer.hh"
+#include "link.hh"
+#include "model.hh"
+#include "parse.hh"
 #include "rules.hh"
 
 namespace fs = std::filesystem;
 
 namespace {
+
+constexpr const char *kUsage =
+    "usage: pmlint [options] <root>...\n"
+    "\n"
+    "Two-pass simulator-aware lint for the PowerMANNA tree. Each root\n"
+    "is a file or a directory walked recursively for .hh/.h/.cc/.cpp\n"
+    "files; pass 1 indexes every file, pass 2 links the indexes and\n"
+    "enforces the cross-TU rules (dangling-capture,\n"
+    "cross-partition-write, layering, stale-annotation) on top of the\n"
+    "per-file rule set. See DESIGN.md \"Determinism & event-kernel\n"
+    "rules\".\n"
+    "\n"
+    "options:\n"
+    "  --jsonl            one JSON object per finding on stdout\n"
+    "                     (file, line, col, rule, message) instead of\n"
+    "                     the sorted text format\n"
+    "  --index-cache DIR  reuse pass-1 indexes cached in DIR, keyed on\n"
+    "                     a content hash of each file; missing or\n"
+    "                     stale entries are rescanned and rewritten\n"
+    "  -h, --help         this text\n"
+    "\n"
+    "exit status:\n"
+    "  0  clean (no findings)\n"
+    "  1  findings were reported\n"
+    "  2  usage error, unreadable input, or unwritable cache\n";
 
 bool
 lintableFile(const fs::path &p)
@@ -62,28 +94,102 @@ collect(const fs::path &root)
     return files;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Cache file for one (root, relPath): content-addressed by name. */
+fs::path
+cacheEntry(const fs::path &cacheDir, const std::string &rootArg,
+           const std::string &relPath)
+{
+    const std::uint64_t key = pmlint::fnv1a64(rootArg + "\n" + relPath);
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.idx",
+                  static_cast<unsigned long long>(key));
+    return cacheDir / name;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> roots;
+    bool jsonl = false;
+    std::string cacheDir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: pmlint <root>...\n"
-                        "Simulator-aware lint; see DESIGN.md "
-                        "\"Determinism & event-kernel rules\".\n");
+            std::fputs(kUsage, stdout);
             return 0;
+        }
+        if (arg == "--jsonl") {
+            jsonl = true;
+            continue;
+        }
+        if (arg == "--index-cache") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pmlint: --index-cache needs a directory\n");
+                return 2;
+            }
+            cacheDir = argv[++i];
+            continue;
+        }
+        if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            std::fprintf(stderr, "pmlint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
         }
         roots.push_back(arg);
     }
     if (roots.empty()) {
-        std::fprintf(stderr, "pmlint: no input roots (try: pmlint src)\n");
+        std::fprintf(stderr,
+                     "pmlint: no input roots (try: pmlint src bench "
+                     "tools)\n");
         return 2;
     }
+    if (!cacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(cacheDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "pmlint: cannot create cache dir %s\n",
+                         cacheDir.c_str());
+            return 2;
+        }
+    }
 
-    std::vector<pmlint::Diagnostic> diags;
+    // Pass 1: index every TU (from cache when the content hash holds).
+    std::vector<pmlint::TuIndex> tus;
     unsigned filesChecked = 0;
     for (const std::string &rootArg : roots) {
         std::error_code ec;
@@ -102,18 +208,51 @@ main(int argc, char **argv)
             }
             std::ostringstream text;
             text << in.rdbuf();
-            const pmlint::SourceFile file =
-                pmlint::scan(relPath, text.str());
-            std::vector<pmlint::Diagnostic> d = pmlint::checkFile(file);
-            diags.insert(diags.end(), d.begin(), d.end());
+            const std::string bytes = text.str();
+            const std::uint64_t hash = pmlint::fnv1a64(bytes);
             ++filesChecked;
+
+            fs::path entry;
+            if (!cacheDir.empty()) {
+                entry = cacheEntry(cacheDir, rootArg, relPath);
+                std::ifstream cached(entry, std::ios::binary);
+                if (cached) {
+                    std::ostringstream ctext;
+                    ctext << cached.rdbuf();
+                    pmlint::TuIndex tu;
+                    if (pmlint::deserialize(ctext.str(), tu) &&
+                        tu.contentHash == hash && tu.relPath == relPath) {
+                        tus.push_back(std::move(tu));
+                        continue;
+                    }
+                }
+            }
+            pmlint::TuIndex tu =
+                pmlint::indexFile(pmlint::scan(relPath, bytes), hash);
+            if (!cacheDir.empty()) {
+                std::ofstream outFile(entry, std::ios::binary);
+                if (outFile)
+                    outFile << pmlint::serialize(tu);
+            }
+            tus.push_back(std::move(tu));
         }
     }
 
-    std::sort(diags.begin(), diags.end());
+    // Pass 2: link.
+    const std::vector<pmlint::Diagnostic> diags = pmlint::link(tus);
+
+    if (jsonl) {
+        for (const pmlint::Diagnostic &d : diags)
+            std::printf("{\"file\":\"%s\",\"line\":%d,\"col\":%d,"
+                        "\"rule\":\"%s\",\"message\":\"%s\"}\n",
+                        jsonEscape(d.relPath).c_str(), d.line, d.col,
+                        jsonEscape(d.rule).c_str(),
+                        jsonEscape(d.message).c_str());
+        return diags.empty() ? 0 : 1;
+    }
     for (const pmlint::Diagnostic &d : diags)
-        std::printf("%s:%d: [%s] %s\n", d.relPath.c_str(), d.line,
-                    d.rule.c_str(), d.message.c_str());
+        std::printf("%s:%d:%d: [%s] %s\n", d.relPath.c_str(), d.line,
+                    d.col, d.rule.c_str(), d.message.c_str());
     if (!diags.empty()) {
         std::printf("pmlint: %zu finding%s in %u file%s\n", diags.size(),
                     diags.size() == 1 ? "" : "s", filesChecked,

@@ -10,12 +10,13 @@ namespace {
 using Diags = std::vector<Diagnostic>;
 
 void
-emit(Diags &out, const SourceFile &f, int line, const char *rule,
+emit(Diags &out, const SourceFile &f, int line, int col, const char *rule,
      std::string message)
 {
-    if (f.suppressed(rule, line))
-        return;
-    out.push_back({f.relPath, line, rule, std::move(message)});
+    // Raw: suppression annotations are applied at the link stage, so
+    // per-file results stay a pure function of file content (and the
+    // link stage can detect annotations that suppress nothing).
+    out.push_back({f.relPath, line, col, rule, std::move(message)});
 }
 
 bool
@@ -99,7 +100,7 @@ checkBannedIdents(const SourceFile &f, Diags &out)
         if (t.kind != Token::Kind::Ident)
             continue;
         if (bannedTypes().count(t.text)) {
-            emit(out, f, t.line, "banned-ident",
+            emit(out, f, t.line, t.col, "banned-ident",
                  "'" + t.text + "' is a nondeterminism hazard; use "
                  "sim/random.hh (SplitMix64) or a config parameter");
             continue;
@@ -135,7 +136,7 @@ checkBannedIdents(const SourceFile &f, Diags &out)
             if (!stdQualified && !globalQualified)
                 continue;
         }
-        emit(out, f, t.line, "banned-ident",
+        emit(out, f, t.line, t.col, "banned-ident",
              "call to '" + t.text + "' is nondeterministic; use "
              "sim/random.hh (SplitMix64) or a config parameter");
     }
@@ -177,7 +178,7 @@ checkUnorderedIteration(const SourceFile &f, Diags &out)
     if (names.empty())
         return;
     auto flag = [&](const Token &t, const std::string &name) {
-        emit(out, f, t.line, "unordered-iter",
+        emit(out, f, t.line, t.col, "unordered-iter",
              "iteration over unordered container '" + name +
                  "' has implementation-defined order (nondeterminism "
                  "hazard); iterate an ordered mirror or annotate "
@@ -241,7 +242,7 @@ checkStdFunction(const SourceFile &f, Diags &out)
     for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
         if (isIdent(toks[i], "std") && isPunct(toks[i + 1], "::") &&
             isIdent(toks[i + 2], "function")) {
-            emit(out, f, toks[i].line, "std-function",
+            emit(out, f, toks[i].line, toks[i].col, "std-function",
                  "std::function on a simulator hot path heap-allocates "
                  "per callback; use sim::EventFn (small-buffer, "
                  "move-only) or annotate "
@@ -296,7 +297,7 @@ checkStaticMutable(const SourceFile &f, Diags &out)
         }
         if (j >= toks.size() || isPunct(toks[j], "(") || immutable)
             continue;
-        emit(out, f, t.line, "no-static-mutable",
+        emit(out, f, t.line, t.col, "no-static-mutable",
              std::string("mutable ") + (isTls ? "thread_local" : "static") +
                  " state survives across simulations in one process; "
                  "scope it to sim::Context or the owning object, or "
@@ -304,36 +305,10 @@ checkStaticMutable(const SourceFile &f, Diags &out)
     }
 }
 
-void
-checkMutableMember(const SourceFile &f, Diags &out)
-{
-    // A `mutable` member is shared-state bait on the partitioned
-    // kernel: const methods run from whichever partition holds a
-    // reference, and a non-atomic mutable member written there is a
-    // data race the type system no longer flags (it was the exact
-    // shape of the shared FaultModel counters). Require std::atomic,
-    // or an annotation naming why the member is confined to one
-    // partition. The `mutable` of a lambda is not a member — its
-    // previous token is the ')' of the capture-parameter list.
-    const auto &toks = f.tokens;
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (!isIdent(toks[i], "mutable"))
-            continue;
-        if (i > 0 && isPunct(toks[i - 1], ")"))
-            continue; // lambda mutable
-        std::size_t j = i + 1;
-        if (j + 1 < toks.size() && isIdent(toks[j], "std") &&
-            isPunct(toks[j + 1], "::"))
-            j += 2;
-        if (j < toks.size() && isIdent(toks[j], "atomic"))
-            continue;
-        emit(out, f, toks[i].line, "partition-shared",
-             "non-atomic mutable member can be written from a const "
-             "method on any partition; make it std::atomic, or "
-             "annotate '// pmlint: partition-ok(<reason>)' stating "
-             "which partition owns it");
-    }
-}
+// The old per-file `partition-shared` heuristic (flag every non-atomic
+// `mutable` member) lived here; it is replaced by the link stage's
+// ownership-aware cross-partition-write rule (link.cc), which knows
+// which partition's queue a callback actually runs on.
 
 // ---- R3a: include-guard naming. ---------------------------------------
 
@@ -362,11 +337,12 @@ checkIncludeGuard(const SourceFile &f, Diags &out)
     const std::string macro = expectedGuard(f.relPath);
     const auto &dirs = f.directives;
     const int line = dirs.empty() ? 1 : dirs.front().line;
+    const int col = dirs.empty() ? 1 : dirs.front().col;
     const bool ok = dirs.size() >= 2 && dirs[0].name == "ifndef" &&
                     dirs[0].rest == macro && dirs[1].name == "define" &&
                     dirs[1].rest == macro;
     if (!ok)
-        emit(out, f, line, "include-guard",
+        emit(out, f, line, col, "include-guard",
              "include guard must be '" + macro +
                  "' (#ifndef/#define pair as the first directives)");
 }
@@ -381,7 +357,7 @@ checkIostream(const SourceFile &f, Diags &out)
             continue;
         if (startsWith(d.rest, "<iostream>") ||
             startsWith(d.rest, "<iostream "))
-            emit(out, f, d.line, "no-iostream",
+            emit(out, f, d.line, d.col, "no-iostream",
                  "iostream is banned in src/ (static init order, "
                  "interleaving with printf logging); use "
                  "sim/logging.hh (pm_inform/pm_warn/pm_panic)");
@@ -428,7 +404,7 @@ checkRawAbort(const SourceFile &f, Diags &out)
             if (!stdQualified && !globalQualified)
                 continue;
         }
-        emit(out, f, t.line, "no-raw-abort",
+        emit(out, f, t.line, t.col, "no-raw-abort",
              "raw '" + t.text + "' dies without the simulation tick or "
              "the forensic dump hooks; use pm_panic/pm_fatal "
              "(sim/logging.hh) or annotate "
@@ -458,7 +434,7 @@ checkAssertSideEffects(const SourceFile &f, Diags &out)
                     break;
             } else if (depth >= 1 && toks[j].kind == Token::Kind::Punct &&
                        kMutating.count(toks[j].text)) {
-                emit(out, f, toks[i].line, "assert-side-effect",
+                emit(out, f, toks[i].line, toks[i].col, "assert-side-effect",
                      "pm_assert condition contains mutating operator '" +
                          toks[j].text +
                          "'; assert expressions must be side-effect "
@@ -475,16 +451,22 @@ checkAssertSideEffects(const SourceFile &f, Diags &out)
 void
 checkAnnotations(const SourceFile &f, Diags &out)
 {
+    // The known-name list in the message is derived from the live
+    // table so it cannot drift from what the link stage accepts.
+    std::string known;
+    for (const auto &[name, rule] : annotationRules()) {
+        if (!known.empty())
+            known += ", ";
+        known += name;
+    }
     for (const Annotation &a : f.annotations) {
         if (a.wellFormed)
             continue;
-        out.push_back(
-            {f.relPath, a.line, "annotation",
-             "malformed pmlint annotation '" + a.name +
-                 "'; expected '<name>-ok(<non-empty reason>)' with "
-                 "name one of banned-ok, unordered-ok, function-ok, "
-                 "assert-ok, iostream-ok, guard-ok, abort-ok, "
-                 "static-ok, partition-ok"});
+        out.push_back({f.relPath, a.line, a.col, "annotation",
+                       "malformed pmlint annotation '" + a.name +
+                           "'; expected '<name>-ok(<non-empty reason>)' "
+                           "with name one of: " +
+                           known});
     }
 }
 
@@ -498,7 +480,6 @@ checkFile(const SourceFile &f)
     checkUnorderedIteration(f, out);
     checkStdFunction(f, out);
     checkStaticMutable(f, out);
-    checkMutableMember(f, out);
     checkIncludeGuard(f, out);
     checkIostream(f, out);
     checkRawAbort(f, out);

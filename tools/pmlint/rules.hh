@@ -1,12 +1,14 @@
 /**
  * @file
- * The pmlint rule set. Each rule walks a scanned SourceFile and emits
- * diagnostics; see DESIGN.md "Determinism & event-kernel rules" for
- * what each rule fences and why.
+ * The pmlint per-file rule set (pass 1). Each rule walks a scanned
+ * SourceFile and emits *raw* diagnostics — suppression annotations are
+ * applied later, at the link stage, so the per-file results are a pure
+ * function of file content and can be cached. See DESIGN.md
+ * "Determinism & event-kernel rules" for what each rule fences and why.
  */
 
-#ifndef PM_TOOLS_PMLINT_RULES_HH
-#define PM_TOOLS_PMLINT_RULES_HH
+#ifndef PM_PMLINT_RULES_HH
+#define PM_PMLINT_RULES_HH
 
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@ struct Diagnostic
 {
     std::string relPath;
     int line;
+    int col;
     std::string rule; //!< Stable rule id, e.g. "banned-ident".
     std::string message;
 
@@ -30,15 +33,17 @@ struct Diagnostic
             return relPath < o.relPath;
         if (line != o.line)
             return line < o.line;
+        if (col != o.col)
+            return col < o.col;
         if (rule != o.rule)
             return rule < o.rule;
         return message < o.message;
     }
 };
 
-/** Run every rule over one scanned file. */
+/** Run every per-file rule over one scanned file (unsuppressed). */
 std::vector<Diagnostic> checkFile(const SourceFile &file);
 
 } // namespace pmlint
 
-#endif // PM_TOOLS_PMLINT_RULES_HH
+#endif // PM_PMLINT_RULES_HH
