@@ -218,6 +218,13 @@ powerMannaFabric(unsigned clusters, unsigned nodesPerCluster)
     return fp;
 }
 
+bool
+isKnown(const std::string &name)
+{
+    return name == "powermanna" || name == "sun" || name == "pc180" ||
+           name == "pc266";
+}
+
 node::NodeParams
 byName(const std::string &name)
 {

@@ -59,6 +59,13 @@ fabric::FabricParams powerMannaFabric(unsigned clusters,
  */
 node::NodeParams byName(const std::string &name);
 
+/**
+ * True when `name` is a valid byName() argument. Callers that must
+ * report errors instead of exiting (svc::JobSpec::parse) check this
+ * first.
+ */
+bool isKnown(const std::string &name);
+
 /** One-line description used by the Table 1 bench. */
 std::string describe(const node::NodeParams &p);
 

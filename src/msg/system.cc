@@ -33,6 +33,14 @@ System::System(const SystemParams &params)
             std::make_unique<FaultMergeHook>(*_p.fabric.fault);
         _kernel.addBarrierHook(_faultMerge.get());
     }
+    if (partitioned()) {
+        // Watchdog scans move from a scan event to the window
+        // barrier: reporters span every partition, so the walk is
+        // only race-free with all lanes quiescent (DESIGN.md §13).
+        _health.setBarrierDriven(true);
+        _watchdogScan = std::make_unique<WatchdogScanHook>(_health);
+        _kernel.addBarrierHook(_watchdogScan.get());
+    }
     _fabric = std::make_unique<fabric::Fabric>(_p.fabric, _kernel);
     _fabric->registerHealth(_health);
     for (unsigned i = 0; i < _fabric->numNodes(); ++i) {

@@ -188,11 +188,35 @@ class System
         sim::FaultModel &_model;
     };
 
+    /**
+     * Window-barrier hook that drives watchdog scans on a partitioned
+     * machine: with every partition quiescent, the monitor may walk
+     * all reporters race-free (an event-driven scan would run inside
+     * a window, racing the other partitions' lanes). Registered after
+     * the fault merge hook so scans observe merged fault counters.
+     */
+    class WatchdogScanHook final : public sim::Partitioned::BarrierHook
+    {
+      public:
+        explicit WatchdogScanHook(sim::health::Monitor &health)
+            : _health(health)
+        {
+        }
+        void atBarrier(Tick wakeTick) override
+        {
+            _health.barrierScan(wakeTick);
+        }
+
+      private:
+        sim::health::Monitor &_health;
+    };
+
     SystemParams _p;
     sim::Context _ctx;
     sim::Partitioned _kernel;
     sim::health::Monitor _health;
     std::unique_ptr<FaultMergeHook> _faultMerge;
+    std::unique_ptr<WatchdogScanHook> _watchdogScan;
     std::unique_ptr<fabric::Fabric> _fabric;
     std::vector<std::unique_ptr<node::Node>> _nodes;
     std::vector<Resettable *> _resettables;

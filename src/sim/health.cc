@@ -108,6 +108,16 @@ Monitor::enableWatchdog(Tick interval, Tick deadline)
     disableWatchdog();
     _interval = interval;
     _deadline = deadline ? deadline : 10 * interval;
+    _lastScan = _queue.now();
+    if (_barrierDriven) {
+        // Barrier-driven (partitioned) mode: the event is a pure
+        // heartbeat. It must not walk reporters — it executes inside
+        // a window, concurrently with other partitions — it only
+        // keeps the kernel from draining so windows (and with them
+        // barrierScan) keep coming on an otherwise-idle machine.
+        _scanEvent = _queue.scheduleIn(_interval, [this] { heartbeat(); });
+        return;
+    }
     _scanEvent = _queue.scheduleIn(_interval, [this] { scan(); });
 }
 
@@ -121,14 +131,15 @@ Monitor::disableWatchdog()
 }
 
 void
-Monitor::scan()
+Monitor::scanBody(Tick now)
 {
-    Check check(_queue.now(), _deadline);
+    Check check(now, _deadline);
     for (Reporter *r : _reporters) {
         check.setComponent(r->healthName());
         r->checkHealth(check);
     }
     ++_scans;
+    _lastScan = now;
     if (check.findings()) {
         // The trip message itself names every stalled component: the
         // one-line diagnosis survives even if the dump hooks cannot
@@ -136,7 +147,29 @@ Monitor::scan()
         pm_panic("health watchdog tripped: %u stalled component(s): %s",
                  check.findings(), check.text().c_str());
     }
+}
+
+void
+Monitor::scan()
+{
+    scanBody(_queue.now());
     _scanEvent = _queue.scheduleIn(_interval, [this] { scan(); });
+}
+
+void
+Monitor::heartbeat()
+{
+    _scanEvent = _queue.scheduleIn(_interval, [this] { heartbeat(); });
+}
+
+void
+Monitor::barrierScan(Tick now)
+{
+    if (_interval == 0 || !_queue.scheduled(_scanEvent))
+        return; // Watchdog off.
+    if (now < _lastScan + _interval)
+        return; // Not a full interval since the last walk yet.
+    scanBody(now);
 }
 
 void

@@ -248,6 +248,33 @@ class Monitor
     void remove(Reporter *reporter);
 
     /**
+     * Drive watchdog scans from window barriers instead of from a
+     * scan event. On the partitioned kernel a scan event would run
+     * inside a window on partition 0's lane while every other
+     * partition's reporters are being mutated concurrently — a data
+     * race. Barrier-driven mode keeps the reporter walk on the
+     * driving thread with all partitions quiescent: the owner (a
+     * partitioned msg::System) calls barrierScan() from a
+     * Partitioned::BarrierHook, and enableWatchdog() schedules only a
+     * self-rescheduling *heartbeat* on the primary queue so a machine
+     * with no other work still produces windows (and therefore scans)
+     * until the deadline trips. Must be set before enableWatchdog().
+     */
+    void setBarrierDriven(bool barrierDriven)
+    {
+        _barrierDriven = barrierDriven;
+    }
+
+    /**
+     * Barrier-driven scan: run the reporter walk when at least one
+     * scan interval has passed since the last one. Called with every
+     * partition quiescent; trips exactly like an event-driven scan.
+     * @param now The barrier's wake tick (first tick of the next
+     *        window) — a deterministic function of event timestamps.
+     */
+    void barrierScan(Tick now);
+
+    /**
      * Enable the progress watchdog.
      * @param interval Virtual-time scan period (ticks); must be > 0.
      * @param deadline Stall deadline; 0 means 10x the interval.
@@ -289,6 +316,12 @@ class Monitor
     /** One watchdog scan; trips on findings, else reschedules. */
     void scan();
 
+    /** The reporter walk shared by scan() and barrierScan(). */
+    void scanBody(Tick now);
+
+    /** Barrier-driven mode's self-rescheduling keep-alive event. */
+    void heartbeat();
+
     static Tick tickThunk(void *ctx);
     static void dumpThunk(void *ctx, std::ostream &os);
 
@@ -298,7 +331,9 @@ class Monitor
     std::vector<Reporter *> _reporters;
     Tick _interval = 0;
     Tick _deadline = 0;
+    Tick _lastScan = 0; //!< Barrier-driven mode: tick of last scan.
     EventHandle _scanEvent;
+    bool _barrierDriven = false;
     bool _auditsEnabled = true;
     std::string _dumpFile;
 

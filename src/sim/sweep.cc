@@ -22,6 +22,7 @@ struct Pool
     void *ctx;
     std::uint64_t seed;
     bool inform;
+    const std::atomic<bool> *cancel;
     std::atomic<std::size_t> next{0};
     std::mutex failLock;
     std::vector<Failure> failures;
@@ -35,25 +36,40 @@ worker(Pool &pool)
     // from the harness options.
     Context::current().setInformEnabled(pool.inform);
     for (;;) {
+        // Cancellation cuts off *claiming*, never a point in flight:
+        // whatever already started runs (and drains) to completion.
+        if (pool.cancel != nullptr &&
+            pool.cancel->load(std::memory_order_relaxed))
+            return;
         const std::size_t i =
             pool.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= pool.count)
             return;
         const Point pt{i, pointSeed(pool.seed, i)};
-        PanicTrap trap;
-        try {
-            pool.thunk(pool.ctx, pt);
-        } catch (const PanicError &e) {
+        Failure fail;
+        if (!runTrapped(pt, pool.thunk, pool.ctx, fail)) {
             const std::lock_guard<std::mutex> lock(pool.failLock);
-            pool.failures.push_back({i, e.what(), e.dump()});
-        } catch (const std::exception &e) {
-            const std::lock_guard<std::mutex> lock(pool.failLock);
-            pool.failures.push_back({i, e.what(), ""});
+            pool.failures.push_back(std::move(fail));
         }
     }
 }
 
 } // namespace
+
+bool
+runTrapped(const Point &pt, PointThunk thunk, void *ctx, Failure &fail)
+{
+    PanicTrap trap;
+    try {
+        thunk(ctx, pt);
+        return true;
+    } catch (const PanicError &e) {
+        fail = Failure{pt.index, e.what(), e.dump()};
+    } catch (const std::exception &e) {
+        fail = Failure{pt.index, e.what(), ""};
+    }
+    return false;
+}
 
 std::vector<Failure>
 runRaw(std::size_t count, PointThunk thunk, void *ctx,
@@ -65,6 +81,7 @@ runRaw(std::size_t count, PointThunk thunk, void *ctx,
     pool.ctx = ctx;
     pool.seed = options.seed;
     pool.inform = options.inform;
+    pool.cancel = options.cancel;
     unsigned jobs =
         options.jobs ? options.jobs : std::thread::hardware_concurrency();
     jobs = std::max<unsigned>(jobs, 1);

@@ -30,6 +30,7 @@
 #ifndef PM_SIM_SWEEP_HH
 #define PM_SIM_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <type_traits>
@@ -56,6 +57,14 @@ struct Options
     std::uint64_t seed = 0;
     /** inform() gate for the workers (sweeps print their own tables). */
     bool inform = false;
+    /**
+     * Cooperative cancellation (e.g. a SIGINT handler's flag): when it
+     * reads true, workers stop *claiming* new points but let every
+     * point already in flight run to completion — a point either ran
+     * fully (its System drained to quiescence inside the callable) or
+     * never started; Report::completed says which. nullptr = never.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** A point that panicked or threw instead of returning a result. */
@@ -90,8 +99,24 @@ struct Report
     std::vector<R> results;
     /** Failed points, sorted by index. Empty means a clean sweep. */
     std::vector<Failure> failures;
+    /**
+     * One flag per point: 1 when the point's callable ran to
+     * completion. 0 means the point failed (see failures) or was
+     * never started because Options::cancel fired.
+     */
+    std::vector<std::uint8_t> completed;
 
     bool ok() const { return failures.empty(); }
+
+    /** Points whose callable ran to completion. */
+    std::size_t
+    completedCount() const
+    {
+        std::size_t n = 0;
+        for (const std::uint8_t c : completed)
+            n += c;
+        return n;
+    }
 
     /** The lowest-index failure. Only valid when !ok(). */
     const Failure &firstFailure() const { return failures.front(); }
@@ -112,6 +137,21 @@ using PointThunk = void (*)(void *ctx, const Point &pt);
 std::vector<Failure> runRaw(std::size_t count, PointThunk thunk,
                             void *ctx, const Options &options);
 
+/**
+ * Run one point's thunk under a PanicTrap on the calling thread — the
+ * exact per-point isolation contract of the pool workers, reusable by
+ * long-lived executors (the pmsimd job service) that schedule points
+ * one at a time instead of as a fixed batch. The caller is expected to
+ * run on a thread whose default Context is private to it (any thread
+ * that never binds a foreign Context qualifies).
+ *
+ * @return true when the thunk completed; false when a panic or
+ *         exception was trapped, with `fail` carrying the point index,
+ *         message, and forensic dump.
+ */
+bool runTrapped(const Point &pt, PointThunk thunk, void *ctx,
+                Failure &fail);
+
 } // namespace detail
 
 /**
@@ -127,17 +167,20 @@ run(std::size_t count, Fn &&fn, const Options &options = {})
     using R = std::decay_t<std::invoke_result_t<Fn &, const Point &>>;
     Report<R> report;
     report.results.resize(count);
+    report.completed.assign(count, 0);
     struct Call
     {
         std::remove_reference_t<Fn> *fn;
         std::vector<R> *out;
-    } call{&fn, &report.results};
+        std::vector<std::uint8_t> *done;
+    } call{&fn, &report.results, &report.completed};
     report.failures = detail::runRaw(
         count,
         [](void *ctx, const Point &pt) {
             Call &c = *static_cast<Call *>(ctx);
             // Distinct slots per index: data-race-free by layout.
             (*c.out)[pt.index] = (*c.fn)(pt);
+            (*c.done)[pt.index] = 1;
         },
         &call, options);
     return report;

@@ -1,0 +1,163 @@
+#include "svc/cache.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace pm::svc {
+
+/*
+ * On-disk index format — text framing, binary-safe payloads:
+ *
+ *   pmcache 1\n
+ *   entry <key-hex> <canonical-bytes> <row-bytes>\n
+ *   <canonical><row>\n
+ *   ... repeated ...
+ *
+ * The payload lengths are exact byte counts, so canonical specs and
+ * rows may contain anything (they do contain newlines). The trailing
+ * newline after each payload is a frame check: if it is missing the
+ * file is corrupt and the whole load is rejected.
+ */
+
+bool
+ResultCache::lookup(std::uint64_t key, const std::string &canonical,
+                    std::string &row)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return false;
+    }
+    if (it->second.canonical != canonical) {
+        ++_collisions;
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    row = it->second.row;
+    return true;
+}
+
+void
+ResultCache::insert(std::uint64_t key, const std::string &canonical,
+                    const std::string &row)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it != _entries.end())
+        return; // First writer wins; a collider keeps missing.
+    _entries.emplace(key, Entry{canonical, row});
+}
+
+ResultCache::Stats
+ResultCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Stats s;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.collisions = _collisions;
+    s.entries = _entries.size();
+    return s;
+}
+
+bool
+ResultCache::load(const std::string &path, std::string &err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return true; // No index yet: a clean empty cache.
+
+    std::map<std::uint64_t, Entry> loaded;
+    bool ok = true;
+    char header[32] = {0};
+    if (std::fgets(header, sizeof(header), f) == nullptr ||
+        std::string(header) != "pmcache 1\n") {
+        err = "cache index '" + path + "': bad header";
+        ok = false;
+    }
+    while (ok) {
+        unsigned long long key = 0;
+        unsigned long long canonLen = 0;
+        unsigned long long rowLen = 0;
+        const int n = std::fscanf(f, "entry %llx %llu %llu", &key,
+                                  &canonLen, &rowLen);
+        if (n == EOF)
+            break;
+        // 1 MiB per payload bounds a corrupt length field.
+        if (n != 3 || std::fgetc(f) != '\n' || canonLen > (1u << 20) ||
+            rowLen > (1u << 20)) {
+            err = "cache index '" + path + "': bad entry record";
+            ok = false;
+            break;
+        }
+        std::vector<char> buf(canonLen + rowLen);
+        if (!buf.empty() &&
+            std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+            err = "cache index '" + path + "': truncated payload";
+            ok = false;
+            break;
+        }
+        if (std::fgetc(f) != '\n') {
+            err = "cache index '" + path + "': bad payload framing";
+            ok = false;
+            break;
+        }
+        Entry e;
+        e.canonical.assign(buf.data(), canonLen);
+        e.row.assign(buf.data() + canonLen, rowLen);
+        loaded[key] = std::move(e);
+    }
+    std::fclose(f);
+    if (!ok)
+        return false;
+
+    std::lock_guard<std::mutex> lock(_mu);
+    _entries = std::move(loaded);
+    return true;
+}
+
+bool
+ResultCache::flush(const std::string &path, std::string &err) const
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        err = "cannot write cache index '" + tmp + "'";
+        return false;
+    }
+    bool ok = std::fputs("pmcache 1\n", f) >= 0;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        for (const auto &[key, e] : _entries) {
+            if (!ok)
+                break;
+            ok = std::fprintf(f, "entry %llx %llu %llu\n",
+                              static_cast<unsigned long long>(key),
+                              static_cast<unsigned long long>(
+                                  e.canonical.size()),
+                              static_cast<unsigned long long>(
+                                  e.row.size())) > 0 &&
+                 std::fwrite(e.canonical.data(), 1, e.canonical.size(),
+                             f) == e.canonical.size() &&
+                 std::fwrite(e.row.data(), 1, e.row.size(), f) ==
+                     e.row.size() &&
+                 std::fputc('\n', f) != EOF;
+        }
+    }
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        err = "short write flushing cache index '" + tmp + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = "cannot rename '" + tmp + "' into place";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace pm::svc

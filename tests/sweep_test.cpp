@@ -171,6 +171,68 @@ TEST(Sweep, FailuresAreSortedByIndex)
     EXPECT_EQ(report.firstFailure().index, 1u);
 }
 
+TEST(Sweep, CancelPresetSkipsEveryPoint)
+{
+    // A cancel flag already true when the sweep starts means no point
+    // is ever claimed: completed stays all-zero and ok() still holds —
+    // cancellation is not a failure.
+    std::atomic<bool> cancel{true};
+    sim::sweep::Options opt;
+    opt.jobs = 4;
+    opt.cancel = &cancel;
+    std::atomic<unsigned> ran{0};
+    const auto report = sim::sweep::run(
+        8,
+        [&ran](const sim::sweep::Point &pt) {
+            ++ran;
+            return pt.index;
+        },
+        opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(ran.load(), 0u);
+    EXPECT_EQ(report.completedCount(), 0u);
+    ASSERT_EQ(report.completed.size(), 8u);
+    for (const auto c : report.completed)
+        EXPECT_EQ(c, 0);
+}
+
+TEST(Sweep, CancelMidSweepKeepsCompletedPointsIntact)
+{
+    // Fire the cancel flag from inside point 2; with one worker the
+    // claim order is the index order, so points 0..2 complete (the one
+    // in flight drains normally) and 3..7 are never started.
+    std::atomic<bool> cancel{false};
+    sim::sweep::Options opt;
+    opt.jobs = 1;
+    opt.cancel = &cancel;
+    const auto report = sim::sweep::run(
+        8,
+        [&cancel](const sim::sweep::Point &pt) {
+            if (pt.index == 2)
+                cancel.store(true);
+            return pt.index * 10;
+        },
+        opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.completedCount(), 3u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(report.completed[i], i <= 2 ? 1 : 0) << "point " << i;
+        if (i <= 2) {
+            EXPECT_EQ(report.results[i], i * 10);
+        }
+    }
+}
+
+TEST(Sweep, CompletedFlagsAllSetOnACleanRun)
+{
+    sim::sweep::Options opt;
+    opt.jobs = 4;
+    const auto report = sim::sweep::run(
+        5, [](const sim::sweep::Point &pt) { return pt.index; }, opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.completedCount(), 5u);
+}
+
 TEST(Context, ScopeBindsAndRestoresCurrent)
 {
     sim::Context &base = sim::Context::current();

@@ -180,6 +180,9 @@ layerDeps()
          {"sim", "net", "ni", "fabric", "mem", "cpu", "node", "msg"}},
         {"earth",
          {"sim", "net", "ni", "fabric", "mem", "cpu", "node", "msg"}},
+        {"svc",
+         {"sim", "net", "ni", "fabric", "mem", "cpu", "node", "msg",
+          "machines"}},
     };
     return k;
 }

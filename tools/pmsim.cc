@@ -20,11 +20,19 @@
  *   pmsim comm --op latency --sweep bytes=8:256:*2
  *   pmsim comm --op soak --count 256 --fault-ber 1e-6 \
  *              --sweep bytes=64:512:64 --jobs 4
+ *
+ * The comm flags are parsed by svc::JobSpec — the same specification
+ * the pmsimd service accepts over its socket — so a job means exactly
+ * the same thing typed here or submitted there. SIGINT drains
+ * gracefully: in-flight points run to wire-quiescence, completed rows
+ * (and --stats) are printed, and pmsim exits 130.
  */
 
-#include <cstdarg>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -32,17 +40,38 @@
 #include <vector>
 
 #include "machines/machines.hh"
-#include "msg/probes.hh"
 #include "node/node.hh"
-#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/parse.hh"
 #include "sim/sweep.hh"
+#include "svc/jobspec.hh"
 #include "workloads/runner.hh"
 
 namespace {
 
 using namespace pm;
+
+/**
+ * SIGINT latch. First ^C requests a graceful drain (workers stop
+ * claiming sweep points; points in flight drain to quiescence);
+ * second ^C aborts immediately for the user who meant it.
+ */
+std::atomic<bool> gInterrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    if (gInterrupted.exchange(true))
+        _exit(130);
+}
+
+void
+installSigint()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onSigint;
+    sigaction(SIGINT, &sa, nullptr);
+}
 
 /** Minimal --key value / --key=value / --flag argument parser. */
 class Args
@@ -90,32 +119,6 @@ class Args
         if (!sim::parse::u32(it->second.c_str(), v))
             pm_fatal("--%s expects an unsigned number, got '%s'",
                      k.c_str(), it->second.c_str());
-        return v;
-    }
-
-    std::uint64_t
-    u64(const std::string &k, std::uint64_t dflt) const
-    {
-        auto it = _kv.find(k);
-        if (it == _kv.end())
-            return dflt;
-        std::uint64_t v = 0;
-        if (!sim::parse::u64(it->second.c_str(), v))
-            pm_fatal("--%s expects an unsigned number, got '%s'",
-                     k.c_str(), it->second.c_str());
-        return v;
-    }
-
-    double
-    dbl(const std::string &k, double dflt) const
-    {
-        auto it = _kv.find(k);
-        if (it == _kv.end())
-            return dflt;
-        double v = 0.0;
-        if (!sim::parse::f64(it->second.c_str(), v))
-            pm_fatal("--%s expects a number, got '%s'", k.c_str(),
-                     it->second.c_str());
         return v;
     }
 
@@ -180,288 +183,51 @@ cmdNode(const Args &args)
     return 0;
 }
 
-// ---- comm: one measurement point. -----------------------------------------
+// ---- comm: the shared JobSpec drives everything. --------------------------
 
-/** printf-append into a std::string (points render off-thread). */
-void
-appendf(std::string &out, const char *fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-
-void
-appendf(std::string &out, const char *fmt, ...)
-{
-    char buf[1024];
-    va_list ap;
-    va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, ap);
-    va_end(ap);
-    out += buf;
-}
-
-/**
- * Everything one comm measurement needs, fully resolved: a sweep
- * point copies this and overrides one axis, then builds its own
- * FaultModel + System from it. Value semantics keep points isolated.
- */
-struct CommCfg
-{
-    node::NodeParams node;
-    unsigned clusters = 1;
-    unsigned nodes = 8;
-    unsigned uplinks = 4; //!< Applied only when clusters > 1.
-    unsigned fifo = 32;
-
-    double ber = 0.0;
-    double drop = 0.0;
-    std::uint64_t faultSeed = 1;
-    bool haveLinkDown = false;
-    sim::FaultWindow linkDown;
-
-    bool watchdog = false;
-    double watchdogUs = 0.0;
-    double watchdogDeadlineUs = 0.0;
-    std::string dumpFile;
-    unsigned kernelThreads = 0; //!< 0 = classic single-queue kernel.
-
-    unsigned src = 0;
-    unsigned dst = 1;
-    unsigned bytes = 8;
-    unsigned count = 32;
-    std::string op = "latency";
-    std::uint64_t soakSeed = 12345;
-    bool stats = false;
-};
-
-CommCfg
-parseCommCfg(const Args &args)
-{
-    CommCfg cfg;
-    cfg.node = machines::byName(args.str("machine", "powermanna"));
-    cfg.clusters = args.num("clusters", 1);
-    cfg.nodes = args.num("nodes", 8);
-    cfg.uplinks = args.num("uplinks", 4);
-    cfg.fifo = args.num("fifo", 32);
-    cfg.ber = args.dbl("fault-ber", 0.0);
-    cfg.drop = args.dbl("fault-drop", 0.0);
-    cfg.faultSeed = args.u64("fault-seed", 1);
-    if (args.has("fault-link-down")) {
-        const std::string w = args.str("fault-link-down", "");
-        const auto colon = w.find(':');
-        double from = 0.0;
-        double to = 0.0;
-        if (colon == std::string::npos ||
-            !sim::parse::f64(w.substr(0, colon).c_str(), from) ||
-            !sim::parse::f64(w.substr(colon + 1).c_str(), to))
-            pm_fatal("--fault-link-down expects FROM:TO (microseconds), "
-                     "got '%s'",
-                     w.c_str());
-        cfg.haveLinkDown = true;
-        cfg.linkDown.from = static_cast<Tick>(from * kTicksPerUs);
-        cfg.linkDown.to = static_cast<Tick>(to * kTicksPerUs);
-        if (cfg.linkDown.to <= cfg.linkDown.from)
-            pm_fatal("--fault-link-down window is empty");
-    }
-    if (args.has("watchdog")) {
-        cfg.watchdog = true;
-        cfg.watchdogUs = args.dbl("watchdog", 0.0);
-        if (cfg.watchdogUs <= 0.0)
-            pm_fatal("--watchdog expects a scan interval in "
-                     "microseconds");
-        cfg.watchdogDeadlineUs = args.dbl("watchdog-deadline", 0.0);
-    }
-    cfg.dumpFile = args.str("dump-file", "");
-    if (args.has("kernel-threads")) {
-        cfg.kernelThreads = args.num("kernel-threads", 0);
-        if (cfg.kernelThreads == 0)
-            pm_fatal("--kernel-threads expects a thread count >= 1");
-        if (cfg.watchdog)
-            pm_fatal("--kernel-threads is incompatible with --watchdog "
-                     "(the watchdog tracks progress on one queue)");
-    }
-    cfg.src = args.num("src", 0);
-    cfg.dst = args.num("dst", 1);
-    cfg.bytes = args.num("bytes", 8);
-    cfg.count = args.num("count", 32);
-    cfg.op = args.str("op", "latency");
-    cfg.soakSeed = args.u64("seed", 12345);
-    cfg.stats = args.has("stats");
-    return cfg;
-}
-
-/**
- * Run one comm measurement on a System of its own and return the
- * report text. Thread-compatible with other points by construction:
- * no shared mutable state, no stdout until the caller prints.
- */
-std::string
-runCommPoint(const CommCfg &cfg)
-{
-    msg::SystemParams sp;
-    sp.node = cfg.node;
-    sp.fabric.clusters = cfg.clusters;
-    sp.fabric.nodesPerCluster = cfg.nodes;
-    sp.fabric.uplinksPerCluster = cfg.clusters > 1 ? cfg.uplinks : 0;
-    sp.fabric.ni.fifoWords = cfg.fifo;
-    sp.kernelThreads = cfg.kernelThreads;
-
-    // Fault injection: configured before the System so the fabric's
-    // links snapshot the config as they are built. The model must
-    // outlive the System.
-    sim::FaultModel fault(cfg.faultSeed);
-    fault.defaults.ber = cfg.ber;
-    fault.defaults.drop = cfg.drop;
-    if (cfg.haveLinkDown)
-        fault.defaults.down.push_back(cfg.linkDown);
-    if (fault.anyConfigured())
-        sp.fabric.fault = &fault;
-
-    msg::System sys(sp);
-
-    // Health: the watchdog is opt-in (zero events when off); the
-    // quiescent-machine auditors are always on in pmsim.
-    if (cfg.watchdog)
-        sys.health().enableWatchdog(
-            static_cast<Tick>(cfg.watchdogUs * kTicksPerUs),
-            static_cast<Tick>(cfg.watchdogDeadlineUs * kTicksPerUs));
-    if (!cfg.dumpFile.empty())
-        sys.health().setDumpFile(cfg.dumpFile);
-
-    std::string out;
-    if (cfg.op == "latency") {
-        appendf(out, "one-way latency %u B: %.2f us\n", cfg.bytes,
-                msg::measureOneWayLatencyUs(sys, cfg.src, cfg.dst,
-                                            cfg.bytes));
-    } else if (cfg.op == "gap") {
-        appendf(out, "gap %u B: %.2f us/message\n", cfg.bytes,
-                msg::measureGapUs(sys, cfg.src, cfg.dst, cfg.bytes,
-                                  cfg.count));
-    } else if (cfg.op == "unibw") {
-        appendf(out, "unidirectional %u B: %.1f MB/s\n", cfg.bytes,
-                msg::measureUnidirectionalMBps(sys, cfg.src, cfg.dst,
-                                               cfg.bytes, cfg.count));
-    } else if (cfg.op == "bibw") {
-        appendf(out, "bidirectional %u B: %.1f MB/s total\n", cfg.bytes,
-                msg::measureBidirectionalMBps(sys, cfg.src, cfg.dst,
-                                              cfg.bytes, cfg.count));
-    } else if (cfg.op == "soak") {
-        std::ostringstream driverStats;
-        const auto r = msg::runDeliverySoak(
-            sys, cfg.src, cfg.dst, cfg.bytes, cfg.count, cfg.soakSeed,
-            /*window=*/16, cfg.stats ? &driverStats : nullptr);
-        appendf(out, "soak %u x %u B: delivered %u/%u %s in %.1f us\n",
-                cfg.count, cfg.bytes, r.delivered, cfg.count,
-                r.intact ? "intact" : "CORRUPTED", r.elapsedUs);
-        appendf(out,
-                "  retransmits          %.0f\n"
-                "  crc_drops            %.0f\n"
-                "  duplicate_discards   %.0f\n"
-                "  out_of_order_discards %.0f\n"
-                "  timeouts             %.0f\n"
-                "  acks_sent            %.0f\n"
-                "  nacks_sent           %.0f\n"
-                "  delivery_failures    %.0f\n"
-                "  receiver_failures    %.0f\n",
-                r.retransmits, r.crcDrops, r.duplicateDiscards,
-                r.outOfOrderDiscards, r.timeouts, r.acksSent,
-                r.nacksSent, r.deliveryFailures, r.receiverFailures);
-        if (r.senderDead || r.receiverDead)
-            appendf(out, "  peer death: %s%s%s\n",
-                    r.senderDead ? "sender gave up" : "",
-                    r.senderDead && r.receiverDead ? ", " : "",
-                    r.receiverDead ? "receiver gave up" : "");
-        out += driverStats.str();
-    } else {
-        pm_fatal("unknown op '%s' (latency|gap|unibw|bibw|soak)",
-                 cfg.op.c_str());
-    }
-    if (cfg.stats) {
-        std::ostringstream os;
-        fault.stats().dump(os);
-        sys.health().stats().dump(os);
-        out += os.str();
-    }
-    return out;
-}
-
-// ---- comm: axis sweeps. ---------------------------------------------------
-
-/**
- * Parse and validate `<axis>=<lo>:<hi>:<step>` (additive) or
- * `<axis>=<lo>:<hi>:*<factor>` (multiplicative) via the shared strict
- * parser. Axes: bytes, count, nodes, clusters, fifo, ber.
- */
-sim::parse::AxisSpec
-parseSweepSpec(const std::string &spec)
-{
-    sim::parse::AxisSpec s;
-    std::string err;
-    if (!sim::parse::axisSpec(spec, s, err))
-        pm_fatal("--sweep: %s", err.c_str());
-    return s;
-}
-
-/** Override one axis of a point's config. */
-void
-applyAxis(CommCfg &cfg, const std::string &axis, double v)
-{
-    if (axis == "bytes")
-        cfg.bytes = static_cast<unsigned>(v);
-    else if (axis == "count")
-        cfg.count = static_cast<unsigned>(v);
-    else if (axis == "nodes")
-        cfg.nodes = static_cast<unsigned>(v);
-    else if (axis == "clusters")
-        cfg.clusters = static_cast<unsigned>(v);
-    else if (axis == "fifo")
-        cfg.fifo = static_cast<unsigned>(v);
-    else if (axis == "ber")
-        cfg.ber = v;
-    else
-        pm_fatal("unknown sweep axis '%s' "
-                 "(bytes|count|nodes|clusters|fifo|ber)",
-                 axis.c_str());
-}
-
-/** Row label: "bytes=4096" / "ber=1e-06". */
-std::string
-axisLabel(const std::string &axis, double v)
-{
-    char buf[64];
-    if (axis == "ber")
-        std::snprintf(buf, sizeof(buf), "%s=%g", axis.c_str(), v);
-    else
-        std::snprintf(buf, sizeof(buf), "%s=%u", axis.c_str(),
-                      static_cast<unsigned>(v));
-    return buf;
-}
+void usage();
 
 int
-cmdComm(const Args &args)
+cmdComm(int argc, char **argv)
 {
-    const CommCfg base = parseCommCfg(args);
-    if (!args.has("sweep")) {
-        std::fputs(runCommPoint(base).c_str(), stdout);
-        return 0;
+    std::vector<std::string> tokens;
+    for (int i = 2; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+
+    svc::JobSpec spec;
+    std::string err;
+    if (!svc::JobSpec::parse(tokens, spec, err)) {
+        std::fprintf(stderr, "pmsim comm: %s\n", err.c_str());
+        usage();
+        return 2;
     }
 
-    const sim::parse::AxisSpec spec = parseSweepSpec(args.str("sweep", ""));
-    // Validate the axis name before spawning anything.
-    {
-        CommCfg probe = base;
-        applyAxis(probe, spec.axis, spec.values.front());
+    installSigint();
+
+    if (!spec.haveSweep) {
+        // One point on the calling thread; a panic (watchdog trip,
+        // strict-soak failure) aborts with its dump, as ever.
+        const std::string row = svc::runPoint(spec);
+        std::fputs(row.c_str(), stdout);
+        return gInterrupted.load() ? 130 : 0;
     }
+
+    svc::JobSpec base = spec;
+    base.haveSweep = false;
+    base.sweep = sim::parse::AxisSpec{};
 
     sim::sweep::Options opt;
-    opt.jobs = args.num("jobs", 1);
-    opt.seed = base.faultSeed;
+    opt.jobs = spec.jobs;
+    opt.seed = spec.faultSeed;
+    opt.cancel = &gInterrupted;
     const auto report = sim::sweep::map(
-        spec.values,
+        spec.sweep.values,
         [&base, &spec](double v, const sim::sweep::Point &) {
             // The user's fault seed is kept per point, so every sweep
             // row is byte-identical to the same single-point run.
-            CommCfg cfg = base;
-            applyAxis(cfg, spec.axis, v);
-            return runCommPoint(cfg);
+            svc::JobSpec cfg = base;
+            cfg.applyAxisValue(spec.sweep.axis, v);
+            return svc::runPoint(cfg);
         },
         opt);
 
@@ -472,19 +238,25 @@ cmdComm(const Args &args)
             ++nextFail; // reported on stderr below; keep stdout rows
             continue;
         }
-        std::printf("[%s] %s",
-                    axisLabel(spec.axis, spec.values[i]).c_str(),
+        if (!report.completed[i])
+            continue; // cancelled before it started
+        std::printf("[%s] %s", spec.pointLabel(i).c_str(),
                     report.results[i].c_str());
     }
     if (!report.ok()) {
         const auto &f = report.firstFailure();
         std::fprintf(stderr, "sweep point %zu (%s) failed:\n%s\n%s",
-                     f.index,
-                     axisLabel(spec.axis, spec.values[f.index]).c_str(),
+                     f.index, spec.pointLabel(f.index).c_str(),
                      f.message.c_str(), f.dump.c_str());
-        return 1;
     }
-    return 0;
+    if (gInterrupted.load()) {
+        std::fprintf(stderr,
+                     "interrupted: %zu/%zu points completed "
+                     "(in-flight points drained to quiescence)\n",
+                     report.completedCount(), spec.numPoints());
+        return 130;
+    }
+    return report.ok() ? 0 : 1;
 }
 
 void
@@ -502,13 +274,19 @@ usage()
                  "       [--fault-ber P] [--fault-drop P]\n"
                  "       [--fault-seed S] [--fault-link-down FROM:TO]\n"
                  "       [--watchdog US] [--watchdog-deadline US]\n"
+                 "       [--deadline-us US]  (watchdog shorthand:\n"
+                 "         scan US/8, stall deadline US)\n"
+                 "       [--strict]  (soak delivery-contract failure\n"
+                 "         panics with a forensic dump)\n"
                  "       [--dump-file PATH] [--stats]\n"
                  "       [--kernel-threads N]  (partitioned parallel\n"
                  "         event kernel; byte-identical for any N,\n"
-                 "         composes with --fault-*)\n"
+                 "         composes with --fault-* and --watchdog)\n"
                  "       [--sweep AXIS=LO:HI:STEP] [--jobs N]\n"
                  "         AXIS: bytes|count|nodes|clusters|fifo|ber;\n"
                  "         STEP: additive, or *F for a factor\n"
+                 "       SIGINT drains in-flight points to quiescence,\n"
+                 "       prints completed rows, exits 130\n"
                  "machines: powermanna sun pc180 pc266\n");
 }
 
@@ -523,13 +301,13 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "comm")
+        return cmdComm(argc, argv);
     Args args(argc, argv, 2);
     if (cmd == "info")
         return cmdInfo(args);
     if (cmd == "node")
         return cmdNode(args);
-    if (cmd == "comm")
-        return cmdComm(args);
     usage();
     return 2;
 }

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * pmsimd — the PowerMANNA simulation service daemon.
+ *
+ * Accepts `pmsim comm`-style jobs over an AF_UNIX socket (line-
+ * delimited JSON; see src/svc/server.hh for the frame schema), runs
+ * each measurement point on an isolated System under a PanicTrap,
+ * streams rows back incrementally, memoizes completed rows in a
+ * content-addressed cache, and drains gracefully on SIGTERM/SIGINT:
+ * accepted jobs finish, new submits are rejected with reason
+ * "draining", and the cache index is flushed before exit.
+ *
+ *   pmsimd --socket /tmp/pmsimd.sock --workers 4 \
+ *          --queue-depth 64 --cache-dir /tmp/pmcache \
+ *          --default-deadline-us 200000 --log-file pmsimd.log
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/parse.hh"
+#include "svc/server.hh"
+
+namespace {
+
+using namespace pm;
+
+/** Drain request latch; SIGTERM and SIGINT both land here. */
+std::atomic<bool> gStop{false};
+
+extern "C" void
+onSignal(int)
+{
+    gStop.store(true);
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pmsimd [--socket PATH] [--workers N]\n"
+        "              [--queue-depth POINTS] [--cache-dir DIR]\n"
+        "              [--default-deadline-us US] [--log-file PATH]\n"
+        "  --socket PATH         listen socket (default pmsimd.sock)\n"
+        "  --workers N           simulation workers (default 2)\n"
+        "  --queue-depth POINTS  max queued points before submits are\n"
+        "                        rejected with queue_full (default 64)\n"
+        "  --cache-dir DIR       content-addressed result cache\n"
+        "                        (default: caching disabled)\n"
+        "  --default-deadline-us virtual-time deadline imposed on jobs\n"
+        "                        that bring no watchdog of their own\n"
+        "  --log-file PATH       append log ('-' = stderr; default)\n"
+        "SIGTERM/SIGINT drain gracefully: running jobs finish, new\n"
+        "ones are rejected, the cache index is flushed.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    svc::ServerOptions opt;
+    std::string logPath = "-";
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        auto need = [&](const char *flag) {
+            if (val == nullptr) {
+                std::fprintf(stderr, "pmsimd: %s needs a value\n", flag);
+                usage();
+                // pmlint: abort-ok(usage error before any simulation)
+                std::exit(2);
+            }
+            ++i;
+            return val;
+        };
+        if (key == "--socket") {
+            opt.socketPath = need("--socket");
+        } else if (key == "--workers") {
+            if (!sim::parse::u32(need("--workers"), opt.workers) ||
+                opt.workers == 0) {
+                std::fprintf(stderr, "pmsimd: bad --workers\n");
+                return 2;
+            }
+        } else if (key == "--queue-depth") {
+            if (!sim::parse::u32(need("--queue-depth"),
+                                 opt.queueDepth) ||
+                opt.queueDepth == 0) {
+                std::fprintf(stderr, "pmsimd: bad --queue-depth\n");
+                return 2;
+            }
+        } else if (key == "--cache-dir") {
+            opt.cacheDir = need("--cache-dir");
+        } else if (key == "--default-deadline-us") {
+            if (!sim::parse::f64(need("--default-deadline-us"),
+                                 opt.defaultDeadlineUs) ||
+                opt.defaultDeadlineUs < 0.0) {
+                std::fprintf(stderr,
+                             "pmsimd: bad --default-deadline-us\n");
+                return 2;
+            }
+        } else if (key == "--log-file") {
+            logPath = need("--log-file");
+        } else if (key == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "pmsimd: unknown flag '%s'\n",
+                         key.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    std::FILE *log = stderr;
+    if (logPath != "-") {
+        log = std::fopen(logPath.c_str(), "a");
+        if (log == nullptr) {
+            std::fprintf(stderr, "pmsimd: cannot open log '%s'\n",
+                         logPath.c_str());
+            return 1;
+        }
+    }
+    opt.log = log;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    svc::Server server(opt);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "pmsimd: %s\n", err.c_str());
+        return 1;
+    }
+    server.run(gStop);
+    if (log != stderr)
+        std::fclose(log);
+    return 0;
+}
