@@ -29,6 +29,8 @@ Proc::Proc(const CpuParams &params, int cpuId, mem::Cache *l1d,
     _stats.add(&intOps);
     _stats.add(&missStalls);
     _stats.add(&tlbMisses);
+    _stats.add(&busFills);
+    _stats.add(&busUpgrades);
 }
 
 void
@@ -76,7 +78,13 @@ Proc::memAccess(Addr addr, bool write)
 
     if (r.fromBus) {
         // DRAM fill, intervention, or upgrade: subject to the
-        // outstanding-miss window.
+        // outstanding-miss window. Attribute the traffic: a "hit" that
+        // came from the bus is an ownership upgrade (store to a Shared
+        // line), anything else is a fill.
+        if (r.hit)
+            ++busUpgrades;
+        else
+            ++busFills;
         const Tick done = r.done + _clk.cycles(_p.missExtraCycles);
         _outstanding.push_back(done);
         return;

@@ -111,6 +111,15 @@ class Proc
     sim::Scalar missStalls{"miss_stall_ticks",
                            "ticks stalled waiting for misses"};
     sim::Scalar tlbMisses{"tlb_misses", "data-TLB table walks"};
+    // Per-policy attribution of bus-level traffic: how much of this
+    // core's demand stream crossed the node bus as fills vs as
+    // ownership upgrades. MSI inflates busUpgrades on private
+    // read-modify-write data; MESI's silent E->M keeps them local.
+    sim::Scalar busFills{"bus_fills",
+                         "demand accesses filled across the node bus"};
+    sim::Scalar busUpgrades{"bus_upgrades",
+                            "demand stores that crossed the bus for "
+                            "ownership"};
 
   private:
     /** Synthetic page-table region used for table-walk PTE reads. */

@@ -74,6 +74,19 @@ powerManna()
 }
 
 node::NodeParams
+powerMannaAblation(unsigned n, mem::CoherenceKind coherence,
+                   mem::TransportKind transport)
+{
+    node::NodeParams p = powerMannaN(n);
+    p.coherence = coherence;
+    p.transport = transport;
+    p.name = "powermanna" + std::to_string(n) + "_" +
+             mem::transportName(transport) + "_" +
+             mem::coherenceName(coherence);
+    return p;
+}
+
+node::NodeParams
 sunUltra1()
 {
     node::NodeParams p;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fabric/topology.hh"
+#include "mem/policy.hh"
 #include "node/node.hh"
 
 namespace pm::machines {
@@ -30,6 +31,17 @@ node::NodeParams powerManna();
 
 /** PowerMANNA variant with `n` processors (the design-study ablation). */
 node::NodeParams powerMannaN(unsigned n);
+
+/**
+ * One point of the coherence ablation (bench/ablation_coherence): a
+ * PowerMANNA node with `n` processors and the given coherence protocol
+ * and transport. The name encodes the point, e.g.
+ * "powermanna4_dir_msi". Replacement stays LRU — it is a per-cache
+ * knob on NodeParams for callers that want to vary it.
+ */
+node::NodeParams powerMannaAblation(unsigned n,
+                                    mem::CoherenceKind coherence,
+                                    mem::TransportKind transport);
 
 /** The two-way SUN ULTRA-I (168 MHz UltraSPARC-I, Solaris in paper). */
 node::NodeParams sunUltra1();

@@ -21,16 +21,43 @@ NodeBus::NodeBus(const BusParams &bp, const DramParams &dp, unsigned numCpus)
     if (bp.dataWidthBytes == 0 || bp.lineBytes % bp.dataWidthBytes != 0)
         pm_fatal("bus %s: line size must be a multiple of the data width",
                  bp.name.c_str());
+    if (bp.transport == TransportKind::Directory && !bp.splitTransactions)
+        pm_fatal("bus %s: a directory transport needs a split-transaction "
+                 "bus (a circuit-switched master holds the broadcast "
+                 "phase by construction)",
+                 bp.name.c_str());
     const Cycles beatsPerLine = bp.lineBytes / bp.dataWidthBytes;
     _lineDataTicks = _clk.cycles(beatsPerLine);
     _beatTicks = _clk.cycles(1);
     _cpuPorts.resize(numCpus);
+
+    TransportHooks hooks;
+    hooks.caches = &_caches;
+    hooks.addrPhase = &_addrPhase;
+    hooks.addrWait = &addrWait;
+    hooks.snoopProbes = &snoopProbes;
+    hooks.dirLookups = &dirLookups;
+    hooks.targetedInvals = &targetedInvals;
+    hooks.addrBusyTicks = &addrBusyTicks;
+    hooks.dirBusyTicks = &dirBusyTicks;
+    TransportTiming timing;
+    timing.addrTicks = _addrTicks;
+    timing.snoopTicks = _snoopTicks;
+    timing.dirLookupTicks = _clk.cycles(bp.dirLookupCycles);
+    timing.dirBanks = bp.dirBanks;
+    timing.lineBytes = bp.lineBytes;
+    _transport = makeTransport(bp.transport, hooks, timing);
 
     _stats.add(&transactions);
     _stats.add(&c2cTransfers);
     _stats.add(&dramReads);
     _stats.add(&dramWrites);
     _stats.add(&pioBeats);
+    _stats.add(&snoopProbes);
+    _stats.add(&dirLookups);
+    _stats.add(&targetedInvals);
+    _stats.add(&addrBusyTicks);
+    _stats.add(&dirBusyTicks);
     _stats.add(&addrWait);
 }
 
@@ -60,6 +87,13 @@ NodeBus::setTimeFloor(Tick floor)
     _memPort.pruneBelow(floor);
     _ioPort.pruneBelow(floor);
     _dram.pruneBelow(floor);
+    _transport->pruneBelow(floor);
+}
+
+std::uint64_t
+NodeBus::directorySharers(Addr lineAddr) const
+{
+    return _transport->sharers(lineAddr & ~Addr(_bp.lineBytes - 1));
 }
 
 BusResult
@@ -68,25 +102,12 @@ NodeBus::request(const BusReq &req, Tick now)
     ++transactions;
     BusResult res;
 
-    // --- Snoop (functional; applied regardless of timing mode). ------
-    bool dirtyOwner = false;
-    bool sharedByOthers = false;
-    int owner = -1;
-    if (req.type != TxType::Writeback) {
-        const bool exclusive = req.type != TxType::ReadShared;
-        for (unsigned c = 0; c < _caches.size(); ++c) {
-            if (static_cast<int>(c) == req.srcCpu || !_caches[c])
-                continue;
-            SnoopResult sr = _caches[c]->snoop(req.lineAddr, exclusive);
-            if (sr.dirtySupplied) {
-                dirtyOwner = true;
-                owner = static_cast<int>(c);
-            }
-            sharedByOthers |= sr.present;
-        }
-    }
-    res.sharedByOthers = sharedByOthers;
-    res.cacheToCache = dirtyOwner;
+    // --- Coherence (functional; applied regardless of timing mode). --
+    // The transport probes (or targets) the peers and reports what it
+    // found; see mem/transport.hh.
+    const ProbeOutcome po = _transport->probe(req);
+    res.sharedByOthers = po.sharedByOthers;
+    res.cacheToCache = po.dirtyOwner;
 
     // --- Non-split (circuit-switched) bus: one resource holds the ----
     // --- whole transaction.                                       ----
@@ -100,7 +121,7 @@ NodeBus::request(const BusReq &req, Tick now)
             break;
           case TxType::ReadShared:
           case TxType::ReadExclusive:
-            if (dirtyOwner) {
+            if (po.dirtyOwner) {
                 service += _clk.cycles(_bp.c2cExtraCycles) + _lineDataTicks;
             } else {
                 service += _dp.latency + _lineDataTicks;
@@ -113,7 +134,7 @@ NodeBus::request(const BusReq &req, Tick now)
         const bool usesDram =
             req.type == TxType::Writeback ||
             ((req.type == TxType::ReadShared ||
-              req.type == TxType::ReadExclusive) && !dirtyOwner);
+              req.type == TxType::ReadExclusive) && !po.dirtyOwner);
         Tick start;
         if (usesDram) {
             if (req.type == TxType::Writeback)
@@ -125,23 +146,24 @@ NodeBus::request(const BusReq &req, Tick now)
                 _addrPhase, service, bank, _dp.occupancy(_bp.lineBytes),
                 now);
         } else {
-            if (dirtyOwner)
+            if (po.dirtyOwner)
                 ++c2cTransfers;
             start = _addrPhase.acquire(now, service);
         }
         addrWait.sample(static_cast<double>(start - now));
+        addrBusyTicks += static_cast<double>(service);
         res.done = start + service;
         return res;
     }
 
-    // --- Split-transaction path. --------------------------------------
-    const Tick addrStart = _addrPhase.acquire(now, _addrTicks);
-    addrWait.sample(static_cast<double>(addrStart - now));
-    const Tick snooped = addrStart + _addrTicks + _snoopTicks;
+    // --- Split-transaction path: the transport charges the ------------
+    // --- serialization (address phase or directory bank).  ------------
+    const Tick snooped = _transport->resolve(req, now, po);
 
     switch (req.type) {
       case TxType::Upgrade:
-        // Address-only transaction: invalidations ride the snoop.
+        // Address-only transaction: invalidations ride the snoop (or
+        // the directory's targeted probes).
         res.done = snooped;
         return res;
 
@@ -159,13 +181,13 @@ NodeBus::request(const BusReq &req, Tick now)
       case TxType::ReadShared:
       case TxType::ReadExclusive: {
         Resource &dstPort = _cpuPorts[req.srcCpu % _cpuPorts.size()];
-        if (dirtyOwner) {
+        if (po.dirtyOwner) {
             // Intervention: the owning cache drives the line directly
             // to the requester through the switch. Memory is updated in
             // the background (reserve the bank; don't extend the
             // requester's latency).
             ++c2cTransfers;
-            Resource &ownPort = _cpuPorts[owner % (int)_cpuPorts.size()];
+            Resource &ownPort = _cpuPorts[po.owner % (int)_cpuPorts.size()];
             const Tick t0 = snooped + _clk.cycles(_bp.c2cExtraCycles);
             const Tick dataStart =
                 acquirePath(ownPort, dstPort, t0, _lineDataTicks);
@@ -194,13 +216,16 @@ NodeBus::pioBeat(int srcCpu, Tick now)
     ++pioBeats;
     // Uncached single-beat transfers are not snooped: they hold the
     // serialized address path for one cycle only, not the full
-    // snoop-response window.
+    // snoop-response window. (This path is transport-independent: PIO
+    // arbitration exists even when coherence rides a directory.)
     const Tick pioAddrTicks = _clk.cycles(1);
     if (!_bp.splitTransactions) {
         const Tick service = pioAddrTicks + _beatTicks;
+        addrBusyTicks += static_cast<double>(service);
         return _addrPhase.acquire(now, service) + service;
     }
     const Tick addrStart = _addrPhase.acquire(now, pioAddrTicks);
+    addrBusyTicks += static_cast<double>(pioAddrTicks);
     Resource &srcPort = _cpuPorts[srcCpu % (int)_cpuPorts.size()];
     const Tick dataStart = acquirePath(srcPort, _ioPort,
                                        addrStart + pioAddrTicks,
@@ -218,6 +243,13 @@ NodeBus::resetTiming()
     _memPort.reset();
     _ioPort.reset();
     _dram.reset();
+    _transport->resetTiming();
+}
+
+void
+NodeBus::resetCoherence()
+{
+    _transport->resetCoherence();
 }
 
 } // namespace pm::mem

@@ -1,6 +1,6 @@
 /**
  * @file
- * The node-level interconnect: snooped address phase, data paths, DRAM.
+ * The node-level interconnect: coherence transport, data paths, DRAM.
  *
  * This one model covers all three machines in the paper's Table 1 by
  * parameterization:
@@ -16,18 +16,26 @@
  *  - Pentium II PC: non-split bus; a master holds the bus from address
  *    phase through data completion (circuit-switched), so a second
  *    processor's transaction waits out the whole service time.
+ *
+ * How a transaction finds the peer copies is the CoherenceTransport
+ * policy (mem/transport.hh): the broadcast snoop phase above, or a
+ * sparse directory whose banked lookups replace the serialized
+ * broadcast with targeted invalidations (DESIGN.md §14).
  */
 
 #ifndef PM_MEM_BUS_HH
 #define PM_MEM_BUS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mem/cache.hh"
+#include "mem/policy.hh"
 #include "mem/req.hh"
 #include "mem/resource.hh"
+#include "mem/transport.hh"
 #include "sim/clock.hh"
 #include "sim/stats.hh"
 
@@ -45,6 +53,9 @@ struct BusParams
     bool splitTransactions = true; //!< Address phase releases early.
     bool pointToPointData = true; //!< ADSP switch vs one shared data bus.
     Cycles c2cExtraCycles = 2; //!< Intervention (cache-to-cache) overhead.
+    TransportKind transport = TransportKind::Snoop;
+    Cycles dirLookupCycles = 2; //!< One banked directory lookup.
+    unsigned dirBanks = 4; //!< Directory interleave factor.
 };
 
 /** Static configuration of the node memory. */
@@ -76,10 +87,11 @@ struct DramParams
 
 /**
  * The node bus: arbitrates coherent transactions from the per-CPU
- * last-level caches, snoops the peers, and times data delivery from
- * DRAM, from an owning cache (intervention), or to DRAM (writeback).
- * Also times PIO transfers between a CPU and the node's I/O port
- * (where the communication link interfaces live).
+ * last-level caches, reaches the peers through its coherence
+ * transport, and times data delivery from DRAM, from an owning cache
+ * (intervention), or to DRAM (writeback). Also times PIO transfers
+ * between a CPU and the node's I/O port (where the communication link
+ * interfaces live).
  */
 class NodeBus : public BusTarget
 {
@@ -114,11 +126,24 @@ class NodeBus : public BusTarget
     void resetTiming();
 
     /**
+     * Forget the transport's coherence bookkeeping (directory sharer
+     * vectors). Must accompany invalidating the attached caches —
+     * Node::reset() does both; no-op under snooping.
+     */
+    void resetCoherence();
+
+    /**
      * Inform the bus that no future request can arrive before `floor`
      * (the scheduler's minimum processor time); old calendar intervals
      * are pruned.
      */
     void setTimeFloor(Tick floor);
+
+    /**
+     * Sharer bit-vector the transport tracks for the line holding
+     * `lineAddr` (always 0 under snooping, which tracks nothing).
+     */
+    std::uint64_t directorySharers(Addr lineAddr) const;
 
     sim::StatGroup &stats() { return _stats; }
 
@@ -127,6 +152,15 @@ class NodeBus : public BusTarget
     sim::Scalar dramReads{"dram_reads", "lines read from node memory"};
     sim::Scalar dramWrites{"dram_writes", "lines written to node memory"};
     sim::Scalar pioBeats{"pio_beats", "uncached single-beat transfers"};
+    sim::Scalar snoopProbes{"snoop_probes",
+                            "peer cache hierarchies probed"};
+    sim::Scalar dirLookups{"dir_lookups", "sparse-directory lookups"};
+    sim::Scalar targetedInvals{"targeted_invals",
+                               "directory-targeted invalidations"};
+    sim::Scalar addrBusyTicks{"addr_busy_ticks",
+                              "ticks the serialized address phase was held"};
+    sim::Scalar dirBusyTicks{"dir_busy_ticks",
+                             "tick-sum of directory bank occupancy"};
     sim::Distribution addrWait{"addr_wait",
                                "ticks spent waiting for the address phase"};
 
@@ -146,6 +180,7 @@ class NodeBus : public BusTarget
     Resource _ioPort;
     BankedResource _dram;
     std::vector<Cache *> _caches;
+    std::unique_ptr<CoherenceTransport> _transport;
     sim::StatGroup _stats;
 
     unsigned bankOf(Addr lineAddr) const

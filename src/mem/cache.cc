@@ -19,6 +19,8 @@ Cache::Cache(const CacheParams &params, BusTarget *bus)
       _clk(params.clockMhz),
       _hitLatency(_clk.cycles(params.hitCycles)),
       _numSets(params.sizeBytes / (params.assoc * params.lineSize)),
+      _coh(coherencePolicy(params.coherence)),
+      _repl(makeReplacement(params.replacement)),
       _bus(bus),
       _stats(params.name)
 {
@@ -31,6 +33,7 @@ Cache::Cache(const CacheParams &params, BusTarget *bus)
         pm_fatal("cache %s: size not divisible by assoc*lineSize",
                  _p.name.c_str());
     _lines.resize(std::size_t(_numSets) * _p.assoc);
+    _repl->attach(_numSets, _p.assoc);
     registerStats();
 }
 
@@ -39,6 +42,8 @@ Cache::Cache(const CacheParams &params, Cache *below)
       _clk(params.clockMhz),
       _hitLatency(_clk.cycles(params.hitCycles)),
       _numSets(params.sizeBytes / (params.assoc * params.lineSize)),
+      _coh(coherencePolicy(params.coherence)),
+      _repl(makeReplacement(params.replacement)),
       _below(below),
       _stats(params.name)
 {
@@ -48,10 +53,14 @@ Cache::Cache(const CacheParams &params, Cache *below)
         pm_fatal("cache %s: lower level has smaller lines (inclusion "
                  "requires lower lineSize >= upper lineSize)",
                  _p.name.c_str());
+    if (below->params().coherence != _p.coherence)
+        pm_fatal("cache %s: hierarchy levels must speak one protocol",
+                 _p.name.c_str());
     if (!isPow2(_p.lineSize) || !isPow2(_numSets))
         pm_fatal("cache %s: line size and set count must be powers of two",
                  _p.name.c_str());
     _lines.resize(std::size_t(_numSets) * _p.assoc);
+    _repl->attach(_numSets, _p.assoc);
     below->_upper = this;
     registerStats();
 }
@@ -94,25 +103,25 @@ Cache::findLine(Addr lineAddr) const
     return const_cast<Cache *>(this)->findLine(lineAddr);
 }
 
-Cache::Line &
-Cache::victimLine(Addr lineAddr)
+std::uint32_t
+Cache::victimWay(Addr lineAddr)
 {
     const std::uint32_t set = setIndex(lineAddr);
-    Line *base = &_lines[std::size_t(set) * _p.assoc];
-    Line *victim = &base[0];
+    const Line *base = &_lines[std::size_t(set) * _p.assoc];
     for (std::uint32_t w = 0; w < _p.assoc; ++w) {
         if (base[w].state == MesiState::Invalid)
-            return base[w];
-        if (base[w].lruStamp < victim->lruStamp)
-            victim = &base[w];
+            return w; // Lowest-index free slot first.
     }
-    return *victim;
+    return _repl->victimWay(set);
 }
 
 void
-Cache::touch(Line &line)
+Cache::touch(const Line *line)
 {
-    line.lruStamp = ++_lruCounter;
+    const auto idx =
+        static_cast<std::size_t>(line - _lines.data());
+    _repl->touch(static_cast<std::uint32_t>(idx / _p.assoc),
+                 static_cast<std::uint32_t>(idx % _p.assoc));
 }
 
 MesiState
@@ -185,7 +194,9 @@ Cache::evict(Line &line, Addr, int srcCpu, Tick t)
 AccessResult
 Cache::fill(Addr lineAddr, bool exclusive, int srcCpu, Tick t)
 {
-    Line &slot = victimLine(lineAddr);
+    const std::uint32_t set = setIndex(lineAddr);
+    const std::uint32_t way = victimWay(lineAddr);
+    Line &slot = _lines[std::size_t(set) * _p.assoc + way];
     if (slot.state != MesiState::Invalid)
         evict(slot, lineAddr, srcCpu, t);
 
@@ -200,7 +211,7 @@ Cache::fill(Addr lineAddr, bool exclusive, int srcCpu, Tick t)
         if (!exclusive && sub.granted == MesiState::Modified) {
             // Lower level holds dirty data; this level caches it clean
             // relative to the level below (which keeps ownership).
-            res.granted = MesiState::Exclusive;
+            res.granted = _coh.cleanOverDirty();
         }
     } else {
         const TxType type =
@@ -208,16 +219,12 @@ Cache::fill(Addr lineAddr, bool exclusive, int srcCpu, Tick t)
         BusResult bus = _bus->request(BusReq{lineAddr, type, srcCpu}, t);
         res.done = bus.done;
         res.fromBus = true;
-        if (exclusive)
-            res.granted = MesiState::Modified;
-        else
-            res.granted = bus.sharedByOthers ? MesiState::Shared
-                                             : MesiState::Exclusive;
+        res.granted = _coh.busGrant(exclusive, bus.sharedByOthers);
     }
 
     slot.tag = lineAddr;
     slot.state = res.granted;
-    touch(slot);
+    _repl->insert(set, way);
     res.hit = false;
     return res;
 }
@@ -253,16 +260,16 @@ Cache::access(const MemReq &req, Tick now)
     Line *line = findLine(lineAddr);
 
     if (line) {
-        touch(*line);
+        touch(line);
         if (!req.write) {
             ++hits;
             return AccessResult{t, line->state, true};
         }
-        switch (line->state) {
-          case MesiState::Modified:
+        switch (_coh.storeHit(line->state)) {
+          case StoreAction::Complete:
             ++hits;
             return AccessResult{t, MesiState::Modified, true};
-          case MesiState::Exclusive:
+          case StoreAction::SilentUpgrade:
             ++hits;
             line->state = MesiState::Modified;
             // Record dirty ownership below so remote snoops that only
@@ -270,7 +277,7 @@ Cache::access(const MemReq &req, Tick now)
             if (_below)
                 _below->promoteToModified(_below->lineAlign(lineAddr));
             return AccessResult{t, MesiState::Modified, true};
-          case MesiState::Shared: {
+          case StoreAction::BusUpgrade: {
             const Tick done = upgradeLine(lineAddr, req.srcCpu, t);
             line = findLine(lineAddr); // may have moved? (no, same slot)
             pm_assert(line != nullptr);
@@ -279,8 +286,6 @@ Cache::access(const MemReq &req, Tick now)
             // it as bus traffic so the core applies miss semantics.
             return AccessResult{done, MesiState::Modified, true, true};
           }
-          case MesiState::Invalid:
-            break; // unreachable: findLine skips Invalid
         }
     }
 
@@ -306,22 +311,18 @@ Cache::snoop(Addr lineAddr, bool exclusive)
     if (!line)
         return res;
 
-    if (line->state == MesiState::Modified) {
+    const SnoopReaction rx = _coh.snoopHit(line->state, exclusive);
+    if (rx.supplyDirty) {
         res.dirtySupplied = true;
         ++interventions;
     }
-    if (exclusive) {
+    if (exclusive)
         ++snoopInvalidations;
-        line->state = MesiState::Invalid;
-        // res.present reflects pre-snoop residency for invalidations.
-        res.present = true;
-    } else {
-        if (line->state == MesiState::Modified ||
-            line->state == MesiState::Exclusive)
-            ++snoopDowngrades;
-        line->state = MesiState::Shared;
-        res.present = true;
-    }
+    else if (rx.downgrade)
+        ++snoopDowngrades;
+    line->state = rx.next;
+    // res.present reflects pre-snoop residency for invalidations.
+    res.present = true;
     return res;
 }
 

@@ -1,24 +1,35 @@
 /**
  * @file
- * A parametric set-associative cache with full MESI coherence.
+ * A parametric set-associative cache with pluggable coherence.
  *
  * Caches form private two-level hierarchies per processor (L1 -> L2);
- * the L2 talks to the node bus (BusTarget), which snoops every other
- * processor's L2. Hierarchies are inclusive: a line present in L1 is
- * present in its L2, so bus snoops delivered to the L2 recurse upward.
+ * the L2 talks to the node bus (BusTarget), which reaches every other
+ * processor's L2 through its coherence transport. Hierarchies are
+ * inclusive: a line present in L1 is present in its L2, so snoops
+ * delivered to the L2 recurse upward.
  *
  * The model tracks line *state*, not data contents: the quantities the
  * paper measures (hit rates, line-length effects, snoop serialization,
  * intervention transfers) are functions of state and timing only.
+ *
+ * Protocol decisions (what a store hit must do, what state a fill is
+ * granted, how a snoop reacts) live in the CoherencePolicy; victim
+ * selection lives in the ReplacementPolicy (DESIGN.md §14). The cache
+ * keeps the mechanism: lookup, inclusion recursion, eviction and the
+ * timing of each path.
  */
 
 #ifndef PM_MEM_CACHE_HH
 #define PM_MEM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "mem/coherence.hh"
+#include "mem/policy.hh"
+#include "mem/replacement.hh"
 #include "mem/req.hh"
 #include "sim/clock.hh"
 #include "sim/stats.hh"
@@ -52,6 +63,8 @@ struct CacheParams
     std::uint32_t lineSize = 64;
     Cycles hitCycles = 1; //!< Lookup + hit-return latency, in clk cycles.
     double clockMhz = 180.0;
+    CoherenceKind coherence = CoherenceKind::Mesi;
+    ReplacementKind replacement = ReplacementKind::Lru;
 };
 
 /**
@@ -75,11 +88,14 @@ class Cache
     std::uint32_t lineSize() const { return _p.lineSize; }
     std::uint32_t numSets() const { return _numSets; }
 
+    /** The protocol this cache speaks. */
+    const CoherencePolicy &coherence() const { return _coh; }
+
     /**
      * Perform a timed access.
      * @param req The processor request (any byte address).
      * @param now Time the request leaves the processor.
-     * @return Completion time and the MESI state now held.
+     * @return Completion time and the coherence state now held.
      */
     AccessResult access(const MemReq &req, Tick now);
 
@@ -131,18 +147,18 @@ class Cache
     {
         Addr tag = 0;
         MesiState state = MesiState::Invalid;
-        std::uint64_t lruStamp = 0;
     };
 
     CacheParams _p;
     sim::ClockDomain _clk;
     Tick _hitLatency;
     std::uint32_t _numSets;
+    const CoherencePolicy &_coh;
+    std::unique_ptr<ReplacementPolicy> _repl;
     Cache *_below = nullptr;
     BusTarget *_bus = nullptr;
     Cache *_upper = nullptr;
     std::vector<Line> _lines; // sets * assoc, row-major by set
-    std::uint64_t _lruCounter = 0;
     sim::StatGroup _stats;
 
     void registerStats();
@@ -151,8 +167,16 @@ class Cache
     std::uint32_t setIndex(Addr lineAddr) const;
     Line *findLine(Addr lineAddr);
     const Line *findLine(Addr lineAddr) const;
-    Line &victimLine(Addr lineAddr);
-    void touch(Line &line);
+
+    /**
+     * Way to fill for a miss on `lineAddr`: the lowest-index Invalid
+     * way if the set has one, else the replacement policy's victim
+     * (which breaks ties toward the lowest way index).
+     */
+    std::uint32_t victimWay(Addr lineAddr);
+
+    /** Report a demand hit on `line` to the replacement policy. */
+    void touch(const Line *line);
 
     /** Fetch a missing line; returns completion time and new state. */
     AccessResult fill(Addr lineAddr, bool exclusive, int srcCpu, Tick t);

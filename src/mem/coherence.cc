@@ -1,0 +1,128 @@
+#include "mem/coherence.hh"
+
+#include "sim/logging.hh"
+
+namespace pm::mem {
+
+namespace {
+
+/** Full MESI, as the MPC620 implements it. */
+class MesiPolicy final : public CoherencePolicy
+{
+  public:
+    CoherenceKind kind() const override { return CoherenceKind::Mesi; }
+
+    MesiState
+    busGrant(bool exclusive, bool sharedByOthers) const override
+    {
+        if (exclusive)
+            return MesiState::Modified;
+        return sharedByOthers ? MesiState::Shared : MesiState::Exclusive;
+    }
+
+    MesiState
+    cleanOverDirty() const override
+    {
+        return MesiState::Exclusive;
+    }
+
+    StoreAction
+    storeHit(MesiState held) const override
+    {
+        switch (held) {
+          case MesiState::Modified:
+            return StoreAction::Complete;
+          case MesiState::Exclusive:
+            return StoreAction::SilentUpgrade;
+          case MesiState::Shared:
+            return StoreAction::BusUpgrade;
+          case MesiState::Invalid:
+            break;
+        }
+        pm_panic("storeHit on an Invalid line");
+    }
+
+    SnoopReaction
+    snoopHit(MesiState held, bool exclusive) const override
+    {
+        SnoopReaction rx;
+        rx.supplyDirty = held == MesiState::Modified;
+        if (exclusive) {
+            rx.next = MesiState::Invalid;
+        } else {
+            rx.next = MesiState::Shared;
+            rx.downgrade = held == MesiState::Modified ||
+                           held == MesiState::Exclusive;
+        }
+        return rx;
+    }
+};
+
+/**
+ * Plain MSI: no Exclusive state, so a load miss always installs
+ * Shared and every store to a clean line must cross the transport for
+ * ownership — the extra upgrade traffic the MESI-vs-MSI ablation
+ * measures.
+ */
+class MsiPolicy final : public CoherencePolicy
+{
+  public:
+    CoherenceKind kind() const override { return CoherenceKind::Msi; }
+
+    MesiState
+    busGrant(bool exclusive, bool sharedByOthers) const override
+    {
+        (void)sharedByOthers;
+        return exclusive ? MesiState::Modified : MesiState::Shared;
+    }
+
+    MesiState
+    cleanOverDirty() const override
+    {
+        return MesiState::Shared;
+    }
+
+    StoreAction
+    storeHit(MesiState held) const override
+    {
+        switch (held) {
+          case MesiState::Modified:
+            return StoreAction::Complete;
+          case MesiState::Exclusive: // Unreachable: MSI never grants E.
+          case MesiState::Shared:
+            return StoreAction::BusUpgrade;
+          case MesiState::Invalid:
+            break;
+        }
+        pm_panic("storeHit on an Invalid line");
+    }
+
+    SnoopReaction
+    snoopHit(MesiState held, bool exclusive) const override
+    {
+        SnoopReaction rx;
+        rx.supplyDirty = held == MesiState::Modified;
+        if (exclusive) {
+            rx.next = MesiState::Invalid;
+        } else {
+            rx.next = MesiState::Shared;
+            rx.downgrade = held == MesiState::Modified;
+        }
+        return rx;
+    }
+};
+
+const MesiPolicy kMesi;
+const MsiPolicy kMsi;
+
+} // namespace
+
+const CoherencePolicy &
+coherencePolicy(CoherenceKind kind)
+{
+    if (kind == CoherenceKind::Msi)
+        return kMsi;
+    return kMesi;
+}
+
+} // namespace pm::mem

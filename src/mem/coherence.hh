@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The coherence-protocol policy: the grant/upgrade/snoop *decisions*
+ * that used to be hardwired into Cache::access / Cache::snoop, factored
+ * out so MESI and MSI share one transition table (MesiState) and one
+ * cache implementation.
+ *
+ * Policies are stateless; `coherencePolicy()` hands out shared const
+ * singletons, so a policy reference never carries per-System state and
+ * is safe to use across concurrently simulated Systems.
+ */
+
+#ifndef PM_MEM_COHERENCE_HH
+#define PM_MEM_COHERENCE_HH
+
+#include <cstdint>
+
+#include "mem/policy.hh"
+#include "mem/req.hh"
+
+namespace pm::mem {
+
+/** What a store that hit a valid line must do, given the state held. */
+enum class StoreAction : std::uint8_t {
+    Complete, //!< Already Modified: write completes locally.
+    SilentUpgrade, //!< Exclusive (MESI only): take M without traffic.
+    BusUpgrade, //!< Shared: must kill peer copies via the transport.
+};
+
+/** How a cache reacts to a snoop that hit a valid line. */
+struct SnoopReaction
+{
+    MesiState next = MesiState::Invalid; //!< State after the snoop.
+    bool supplyDirty = false; //!< Line was Modified: intervention.
+    bool downgrade = false; //!< Counts as an M/E -> S demotion.
+};
+
+/** Protocol decision table; see coherencePolicy(). */
+class CoherencePolicy
+{
+  public:
+    virtual ~CoherencePolicy() = default;
+
+    virtual CoherenceKind kind() const = 0;
+
+    /**
+     * State granted to a fill that crossed the node bus.
+     * @param exclusive Read-with-intent-to-modify.
+     * @param sharedByOthers Another cache still holds the line.
+     */
+    virtual MesiState busGrant(bool exclusive,
+                               bool sharedByOthers) const = 0;
+
+    /**
+     * State an upper level holds when its lower level keeps a dirty
+     * (Modified) copy: clean relative to the level below. MESI uses
+     * Exclusive so a later store upgrades silently; MSI has no such
+     * state and falls back to Shared.
+     */
+    virtual MesiState cleanOverDirty() const = 0;
+
+    /** Decide what a store hitting a line in state `held` must do. */
+    virtual StoreAction storeHit(MesiState held) const = 0;
+
+    /**
+     * React to a snoop hitting a line in state `held`.
+     * @param exclusive Requester wants ownership (invalidate).
+     */
+    virtual SnoopReaction snoopHit(MesiState held,
+                                   bool exclusive) const = 0;
+};
+
+/** Shared immutable policy instance for `kind`. */
+const CoherencePolicy &coherencePolicy(CoherenceKind kind);
+
+} // namespace pm::mem
+
+#endif // PM_MEM_COHERENCE_HH

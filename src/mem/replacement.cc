@@ -1,0 +1,126 @@
+#include "mem/replacement.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace pm::mem {
+
+namespace {
+
+/**
+ * True LRU via monotonic stamps, exactly the scheme the cache used
+ * inline before the policy split: every touch/insert stamps the way
+ * with a fresh counter value and the victim is the strictly smallest
+ * stamp, scanned from way 0 — so equal stamps (cold sets) resolve to
+ * the lowest way index.
+ */
+class LruPolicy final : public ReplacementPolicy
+{
+  public:
+    ReplacementKind kind() const override { return ReplacementKind::Lru; }
+
+    void
+    attach(std::uint32_t sets, std::uint32_t assoc) override
+    {
+        _assoc = assoc;
+        _stamps.assign(std::size_t(sets) * assoc, 0);
+    }
+
+    void
+    touch(std::uint32_t set, std::uint32_t way) override
+    {
+        _stamps[std::size_t(set) * _assoc + way] = ++_counter;
+    }
+
+    void
+    insert(std::uint32_t set, std::uint32_t way) override
+    {
+        touch(set, way);
+    }
+
+    std::uint32_t
+    victimWay(std::uint32_t set) override
+    {
+        const std::uint64_t *base = &_stamps[std::size_t(set) * _assoc];
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < _assoc; ++w) {
+            // Strict <: a tie keeps the lowest way index.
+            if (base[w] < base[victim])
+                victim = w;
+        }
+        return victim;
+    }
+
+  private:
+    std::uint32_t _assoc = 0;
+    std::uint64_t _counter = 0;
+    std::vector<std::uint64_t> _stamps;
+};
+
+/**
+ * SRRIP-HP (Jaleel et al., ISCA 2010) with 2-bit re-reference
+ * prediction values: insert at long re-reference (RRPV 2), promote to
+ * 0 on a hit, evict the first way at distant (RRPV 3) scanning from
+ * way 0, aging the whole set when none qualifies. Scan-resistant where
+ * LRU thrashes: a streaming line enters one step from eviction instead
+ * of at the MRU end.
+ */
+class SrripPolicy final : public ReplacementPolicy
+{
+  public:
+    ReplacementKind kind() const override { return ReplacementKind::Srrip; }
+
+    void
+    attach(std::uint32_t sets, std::uint32_t assoc) override
+    {
+        _assoc = assoc;
+        _rrpv.assign(std::size_t(sets) * assoc, kDistant);
+    }
+
+    void
+    touch(std::uint32_t set, std::uint32_t way) override
+    {
+        _rrpv[std::size_t(set) * _assoc + way] = 0;
+    }
+
+    void
+    insert(std::uint32_t set, std::uint32_t way) override
+    {
+        _rrpv[std::size_t(set) * _assoc + way] = kLong;
+    }
+
+    std::uint32_t
+    victimWay(std::uint32_t set) override
+    {
+        std::uint8_t *base = &_rrpv[std::size_t(set) * _assoc];
+        for (;;) {
+            for (std::uint32_t w = 0; w < _assoc; ++w) {
+                // First distant way from way 0: lowest-index tie-break.
+                if (base[w] >= kDistant)
+                    return w;
+            }
+            for (std::uint32_t w = 0; w < _assoc; ++w)
+                ++base[w]; // Age the set and rescan.
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kDistant = 3; //!< 2-bit max RRPV.
+    static constexpr std::uint8_t kLong = 2; //!< Insertion RRPV.
+
+    std::uint32_t _assoc = 0;
+    std::vector<std::uint8_t> _rrpv;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind)
+{
+    if (kind == ReplacementKind::Srrip)
+        return std::make_unique<SrripPolicy>();
+    return std::make_unique<LruPolicy>();
+}
+
+} // namespace pm::mem

@@ -15,17 +15,23 @@ Node::Node(const NodeParams &params)
                  "granule (%u)",
                  _p.name.c_str(), _p.l2.lineSize, _p.bus.lineBytes);
 
-    _bus = std::make_unique<mem::NodeBus>(_p.bus, _p.dram, _p.numCpus);
+    mem::BusParams busp = _p.bus;
+    busp.transport = _p.transport;
+    _bus = std::make_unique<mem::NodeBus>(busp, _p.dram, _p.numCpus);
     _stats.add(&_bus->stats());
 
     for (unsigned c = 0; c < _p.numCpus; ++c) {
         mem::CacheParams l2p = _p.l2;
         l2p.name = _p.name + ".cpu" + std::to_string(c) + ".l2";
+        l2p.coherence = _p.coherence;
+        l2p.replacement = _p.replacement;
         _l2s.push_back(std::make_unique<mem::Cache>(l2p, _bus.get()));
         _bus->attachCache(c, _l2s.back().get());
 
         mem::CacheParams l1p = _p.l1;
         l1p.name = _p.name + ".cpu" + std::to_string(c) + ".l1d";
+        l1p.coherence = _p.coherence;
+        l1p.replacement = _p.replacement;
         _l1s.push_back(std::make_unique<mem::Cache>(l1p, _l2s.back().get()));
 
         cpu::CpuParams cp = _p.cpu;
@@ -44,6 +50,7 @@ Node::reset()
 {
     for (auto &l2 : _l2s)
         l2->invalidateAll();
+    _bus->resetCoherence(); // Dropped lines leave no stale sharer bits.
     resetTimingOnly();
     for (auto &p : _procs)
         p->flushTlb();

@@ -30,6 +30,13 @@ struct NodeParams
     mem::CacheParams l2;
     mem::BusParams bus;
     mem::DramParams dram;
+
+    // Node-wide memory-hierarchy policies (DESIGN.md §14). The ctor
+    // copies these into every cache's CacheParams and the bus's
+    // BusParams, so one knob configures the whole node consistently.
+    mem::CoherenceKind coherence = mem::CoherenceKind::Mesi;
+    mem::ReplacementKind replacement = mem::ReplacementKind::Lru;
+    mem::TransportKind transport = mem::TransportKind::Snoop;
 };
 
 /** One SMP node: processors, caches, bus switch, memory. */

@@ -35,6 +35,7 @@ knownKeys()
 {
     static const std::set<std::string> k = {
         "machine", "clusters", "nodes", "uplinks", "fifo",
+        "coherence", "replacement", "transport", "node-cpus",
         "fault-ber", "fault-drop", "fault-seed", "fault-link-down",
         "watchdog", "watchdog-deadline", "dump-file", "kernel-threads",
         "src", "dst", "bytes", "count", "op", "seed", "stats",
@@ -208,6 +209,43 @@ JobSpec::parse(const std::vector<std::string> &tokens, JobSpec &out,
         err = "unknown machine '" + out.machine +
               "' (powermanna|sun|pc180|pc266)";
         return false;
+    }
+
+    const std::string coh =
+        f.str("coherence", mem::coherenceName(out.coherence));
+    if (!mem::parseCoherence(coh, out.coherence)) {
+        err = "--coherence expects msi or mesi, got '" + coh + "'";
+        return false;
+    }
+    const std::string repl =
+        f.str("replacement", mem::replacementName(out.replacement));
+    if (!mem::parseReplacement(repl, out.replacement)) {
+        err = "--replacement expects lru or srrip, got '" + repl + "'";
+        return false;
+    }
+    const std::string tr =
+        f.str("transport", mem::transportName(out.transport));
+    if (!mem::parseTransport(tr, out.transport)) {
+        err = "--transport expects snoop or dir, got '" + tr + "'";
+        return false;
+    }
+    if (out.transport == mem::TransportKind::Directory &&
+        !machines::byName(out.machine).bus.splitTransactions) {
+        err = "--transport dir needs a split-transaction machine "
+              "(powermanna|sun); '" +
+              out.machine + "' holds its bus circuit-switched";
+        return false;
+    }
+    // Resolve the node's processor count so canonical() is explicit.
+    out.nodeCpus = machines::byName(out.machine).numCpus;
+    if (f.has("node-cpus")) {
+        if (!f.num("node-cpus", out.nodeCpus))
+            return false;
+        if (out.nodeCpus < 1 || out.nodeCpus > 8) {
+            err = "--node-cpus must be in 1..8 (the paper's node "
+                  "design-study range)";
+            return false;
+        }
     }
     if (!f.num("clusters", out.clusters) || !f.num("nodes", out.nodes) ||
         !f.num("uplinks", out.uplinks) || !f.num("fifo", out.fifo) ||
@@ -414,6 +452,11 @@ JobSpec::canonical() const
               "canonical() is defined on single-point specs only");
     std::string out;
     appendf(out, "machine=%s\n", machine.c_str());
+    appendf(out, "coherence=%s\nreplacement=%s\ntransport=%s\n"
+                 "node-cpus=%u\n",
+            mem::coherenceName(coherence),
+            mem::replacementName(replacement),
+            mem::transportName(transport), nodeCpus);
     appendf(out, "clusters=%u\nnodes=%u\nuplinks=%u\nfifo=%u\n",
             clusters, nodes, uplinks, fifo);
     appendf(out, "ber=%.17g\ndrop=%.17g\nfault-seed=%llu\n", ber, drop,
@@ -442,6 +485,11 @@ runPoint(const JobSpec &spec)
               "runPoint() takes a single-point spec (use pointSpec)");
     msg::SystemParams sp;
     sp.node = machines::byName(spec.machine);
+    sp.node.coherence = spec.coherence;
+    sp.node.replacement = spec.replacement;
+    sp.node.transport = spec.transport;
+    if (spec.nodeCpus != 0)
+        sp.node.numCpus = spec.nodeCpus;
     sp.fabric.clusters = spec.clusters;
     sp.fabric.nodesPerCluster = spec.nodes;
     sp.fabric.uplinksPerCluster = spec.clusters > 1 ? spec.uplinks : 0;

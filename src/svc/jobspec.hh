@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/policy.hh"
 #include "sim/fault.hh"
 #include "sim/parse.hh"
 
@@ -52,6 +53,15 @@ struct JobSpec
     unsigned nodes = 8;
     unsigned uplinks = 4; //!< Applied only when clusters > 1.
     unsigned fifo = 32;
+
+    // Memory-hierarchy policies (DESIGN.md §14). parse() resolves
+    // nodeCpus to the machine's default processor count, so canonical()
+    // always renders an explicit value and `--node-cpus 2` on
+    // powermanna hashes identically to no flag at all.
+    mem::CoherenceKind coherence = mem::CoherenceKind::Mesi;
+    mem::ReplacementKind replacement = mem::ReplacementKind::Lru;
+    mem::TransportKind transport = mem::TransportKind::Snoop;
+    unsigned nodeCpus = 0; //!< Resolved by parse(); never 0 after it.
 
     double ber = 0.0;
     double drop = 0.0;

@@ -1,15 +1,20 @@
 /**
  * @file
- * Property-based tests of the MESI protocol: under randomized access
- * interleavings from multiple processors, the global coherence
+ * Property-based tests of the coherence protocols: under randomized
+ * access interleavings from multiple processors, the global coherence
  * invariants must hold after every single access:
  *
  *  I1. At most one cache hierarchy holds a line Modified or Exclusive.
  *  I2. If any hierarchy holds M or E, no other hierarchy holds S.
  *  I3. Inclusion: a line valid in an L1 is valid in its L2.
  *  I4. A timed access completes no earlier than it was issued.
+ *  I5. (MSI only) No cache ever holds a line Exclusive.
  *
- * Parameterized over (seed, processor count).
+ * The original MESI suite is parameterized over (seed, processor
+ * count); the policy-matrix suite additionally sweeps coherence
+ * protocol x transport so MSI and the sparse directory satisfy the
+ * same single-writer/multiple-reader contract as broadcast-snooped
+ * MESI.
  */
 
 #include <gtest/gtest.h>
@@ -37,10 +42,14 @@ struct TestNode
     std::unique_ptr<NodeBus> bus;
     std::vector<Hierarchy> cpus;
 
-    explicit TestNode(unsigned numCpus)
+    explicit TestNode(unsigned numCpus,
+                      CoherenceKind coh = CoherenceKind::Mesi,
+                      TransportKind transport = TransportKind::Snoop,
+                      ReplacementKind repl = ReplacementKind::Lru)
     {
         BusParams bp;
         bp.lineBytes = 64;
+        bp.transport = transport;
         DramParams dp;
         bus = std::make_unique<NodeBus>(bp, dp, numCpus);
         for (unsigned c = 0; c < numCpus; ++c) {
@@ -51,6 +60,8 @@ struct TestNode
             l2p.assoc = 2;
             l2p.lineSize = 64;
             l2p.hitCycles = 4;
+            l2p.coherence = coh;
+            l2p.replacement = repl;
             h.l2 = std::make_unique<Cache>(l2p, bus.get());
             bus->attachCache(c, h.l2.get());
 
@@ -60,20 +71,22 @@ struct TestNode
             l1p.assoc = 2;
             l1p.lineSize = 64;
             l1p.hitCycles = 1;
+            l1p.coherence = coh;
+            l1p.replacement = repl;
             h.l1 = std::make_unique<Cache>(l1p, h.l2.get());
             cpus.push_back(std::move(h));
         }
     }
 };
 
-class MesiProperty
-    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
-{};
-
-TEST_P(MesiProperty, InvariantsHoldUnderRandomInterleavings)
+/**
+ * Drive `node` through a seeded random access interleaving, asserting
+ * I1-I4 after every access (and I5 when `forbidExclusive`).
+ */
+void
+runRandomWalk(TestNode &node, unsigned seed, unsigned numCpus,
+              bool forbidExclusive)
 {
-    const auto [seed, numCpus] = GetParam();
-    TestNode node(numCpus);
     sim::SplitMix64 rng(seed);
 
     // A small address pool maximizes sharing and conflict pressure.
@@ -97,7 +110,7 @@ TEST_P(MesiProperty, InvariantsHoldUnderRandomInterleavings)
         ASSERT_GE(r.done, t) << "I4 violated at step " << step;
         t += 1 + rng.below(2000);
 
-        // Check I1-I3 on every line of the pool.
+        // Check I1-I3 (and I5) on every line of the pool.
         for (Addr line : pool) {
             unsigned owners = 0; // hierarchies holding M or E
             unsigned sharers = 0; // hierarchies holding S
@@ -110,6 +123,14 @@ TEST_P(MesiProperty, InvariantsHoldUnderRandomInterleavings)
                         << "I3 violated: line " << std::hex << line
                         << " valid in L1 but not L2 of cpu " << c
                         << " at step " << std::dec << step;
+                }
+                if (forbidExclusive) {
+                    ASSERT_NE(s1, MesiState::Exclusive)
+                        << "I5 violated (L1) on line " << std::hex
+                        << line << " at step " << std::dec << step;
+                    ASSERT_NE(s2, MesiState::Exclusive)
+                        << "I5 violated (L2) on line " << std::hex
+                        << line << " at step " << std::dec << step;
                 }
                 const bool owner = s2 == MesiState::Modified ||
                                    s2 == MesiState::Exclusive;
@@ -128,6 +149,17 @@ TEST_P(MesiProperty, InvariantsHoldUnderRandomInterleavings)
     }
 }
 
+class MesiProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(MesiProperty, InvariantsHoldUnderRandomInterleavings)
+{
+    const auto [seed, numCpus] = GetParam();
+    TestNode node(numCpus);
+    runRandomWalk(node, seed, numCpus, /*forbidExclusive=*/false);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, MesiProperty,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
@@ -135,6 +167,42 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return "seed" + std::to_string(std::get<0>(info.param)) +
                "_cpus" + std::to_string(std::get<1>(info.param));
+    });
+
+/**
+ * The policy matrix: both protocols x both transports (x both
+ * replacement policies, riding the seed axis cheaply) satisfy the
+ * same invariants, and MSI additionally never mints Exclusive.
+ */
+class PolicyProperty
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, CoherenceKind, TransportKind>>
+{};
+
+TEST_P(PolicyProperty, InvariantsHoldUnderRandomInterleavings)
+{
+    const auto [seed, numCpus, coh, transport] = GetParam();
+    // Odd seeds run SRRIP so both replacement policies see the matrix
+    // without doubling the instantiation count.
+    const ReplacementKind repl =
+        seed % 2 ? ReplacementKind::Srrip : ReplacementKind::Lru;
+    TestNode node(numCpus, coh, transport, repl);
+    runRandomWalk(node, seed, numCpus,
+                  /*forbidExclusive=*/coh == CoherenceKind::Msi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PolicyProperty,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 3u, 4u), ::testing::Values(2u, 4u),
+        ::testing::Values(CoherenceKind::Mesi, CoherenceKind::Msi),
+        ::testing::Values(TransportKind::Snoop,
+                          TransportKind::Directory)),
+    [](const auto &info) {
+        return "seed" + std::to_string(std::get<0>(info.param)) +
+               "_cpus" + std::to_string(std::get<1>(info.param)) + "_" +
+               coherenceName(std::get<2>(info.param)) + "_" +
+               transportName(std::get<3>(info.param));
     });
 
 /** Writebacks must not resurrect stale sharers: after a dirty line is

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "mem/policy.hh"
 #include "sim/context.hh"
 #include "sim/sweep.hh"
 #include "svc/cache.hh"
@@ -210,6 +211,82 @@ TEST(SvcJobSpec, CanonicalResolvesDefaults)
     ASSERT_TRUE(svc::JobSpec::parse(tok({"--kernel-threads", "2"}), e,
                                     err));
     EXPECT_NE(a.cacheKey(), e.cacheKey());
+}
+
+TEST(SvcJobSpec, PolicyFlagsParseWithResolvedDefaults)
+{
+    svc::JobSpec spec;
+    std::string err;
+    ASSERT_TRUE(svc::JobSpec::parse({}, spec, err)) << err;
+    EXPECT_EQ(spec.coherence, mem::CoherenceKind::Mesi);
+    EXPECT_EQ(spec.replacement, mem::ReplacementKind::Lru);
+    EXPECT_EQ(spec.transport, mem::TransportKind::Snoop);
+    // parse() resolves nodeCpus to the machine's processor count (the
+    // PowerMANNA node is a 2-way SMP) so canonical() never renders 0.
+    EXPECT_EQ(spec.nodeCpus, 2u);
+
+    ASSERT_TRUE(svc::JobSpec::parse(
+                    tok({"--coherence", "msi", "--replacement", "srrip",
+                         "--transport", "dir", "--node-cpus", "4"}),
+                    spec, err))
+        << err;
+    EXPECT_EQ(spec.coherence, mem::CoherenceKind::Msi);
+    EXPECT_EQ(spec.replacement, mem::ReplacementKind::Srrip);
+    EXPECT_EQ(spec.transport, mem::TransportKind::Directory);
+    EXPECT_EQ(spec.nodeCpus, 4u);
+}
+
+TEST(SvcJobSpec, PolicyFlagsRejectBadValuesWithDiagnostics)
+{
+    svc::JobSpec spec;
+    std::string err;
+    const std::vector<std::vector<std::string>> bad = {
+        tok({"--coherence", "moesi"}),
+        tok({"--replacement", "random"}),
+        tok({"--transport", "mesh"}),
+        tok({"--node-cpus", "0"}),
+        tok({"--node-cpus", "9"}), // beyond the paper's design study
+        // A circuit-switched bus master holds the broadcast phase by
+        // construction; the directory needs split transactions.
+        tok({"--transport", "dir", "--machine", "pc180"}),
+    };
+    for (const auto &tokens : bad) {
+        err.clear();
+        EXPECT_FALSE(svc::JobSpec::parse(tokens, spec, err))
+            << "accepted: " << tokens.front();
+        EXPECT_FALSE(err.empty()) << tokens.front();
+    }
+    // The rejection names the offending machine, not just the flag.
+    svc::JobSpec s2;
+    err.clear();
+    ASSERT_FALSE(svc::JobSpec::parse(
+        tok({"--transport", "dir", "--machine", "pc180"}), s2, err));
+    EXPECT_NE(err.find("pc180"), std::string::npos) << err;
+}
+
+TEST(SvcJobSpec, PolicyFieldsKeyTheCache)
+{
+    svc::JobSpec dflt;
+    std::string err;
+    ASSERT_TRUE(svc::JobSpec::parse({}, dflt, err));
+
+    // Spelling out every default must hash identically to no flags.
+    svc::JobSpec explicitDflt;
+    ASSERT_TRUE(svc::JobSpec::parse(
+        tok({"--coherence", "mesi", "--replacement", "lru",
+             "--transport", "snoop", "--node-cpus", "2"}),
+        explicitDflt, err));
+    EXPECT_EQ(dflt.canonical(), explicitDflt.canonical());
+    EXPECT_EQ(dflt.cacheKey(), explicitDflt.cacheKey());
+
+    // Each policy axis is semantic: changing it must change the key.
+    for (const auto &flags :
+         {tok({"--coherence", "msi"}), tok({"--replacement", "srrip"}),
+          tok({"--transport", "dir"}), tok({"--node-cpus", "4"})}) {
+        svc::JobSpec other;
+        ASSERT_TRUE(svc::JobSpec::parse(flags, other, err)) << err;
+        EXPECT_NE(dflt.cacheKey(), other.cacheKey()) << flags.front();
+    }
 }
 
 // ---- Result cache. --------------------------------------------------------

@@ -269,6 +269,10 @@ usage()
                  "       [--transposed] [--cpus C] [--rows R]\n"
                  "       [--independent] [--type double|int] [--stats]\n"
                  "  comm [--machine M] [--nodes N] [--clusters K]\n"
+                 "       [--coherence mesi|msi] [--replacement lru|srrip]\n"
+                 "       [--transport snoop|dir]  (dir: sparse-directory\n"
+                 "         coherence; needs a split-transaction machine)\n"
+                 "       [--node-cpus N]  (processors per node, 1..8)\n"
                  "       [--fifo W] --op latency|gap|unibw|bibw|soak\n"
                  "       [--bytes B] [--count C] [--src S] [--dst D]\n"
                  "       [--fault-ber P] [--fault-drop P]\n"
